@@ -1,0 +1,32 @@
+#pragma once
+// Shared helpers for the figure-reproduction bench binaries.
+
+#include <cstdlib>
+#include <iostream>
+#include <string>
+
+#include "runtime/cluster.hpp"
+#include "runtime/constants.hpp"
+#include "runtime/report.hpp"
+
+namespace dvx::bench {
+
+/// True when DVX_BENCH_FAST is set: benches shrink their problem sizes so a
+/// full `for b in build/bench/*; do $b; done` sweep stays quick.
+inline bool fast_mode() {
+  const char* v = std::getenv("DVX_BENCH_FAST");
+  return v != nullptr && v[0] != '\0' && v[0] != '0';
+}
+
+inline runtime::Cluster make_cluster(int nodes, bool trace = false) {
+  return runtime::Cluster(runtime::ClusterConfig{.nodes = nodes, .trace = trace});
+}
+
+/// The node counts the paper sweeps (Figs. 4 and 6-8).
+inline std::vector<int> paper_node_counts(int first = 2) {
+  std::vector<int> out;
+  for (int n = first; n <= runtime::paper::kMaxNodes; n *= 2) out.push_back(n);
+  return out;
+}
+
+}  // namespace dvx::bench

@@ -1,0 +1,39 @@
+// Graph analytics example: Graph500-style BFS on both networks.
+//
+// Builds a Kronecker (power-law) graph, distributes it over 8 simulated
+// nodes, runs validated breadth-first searches on the Data Vortex and on
+// MPI-over-InfiniBand, and reports TEPS — the kind of irregular,
+// fine-grained workload the paper argues the Data Vortex is built for.
+//
+// Run: ./build/examples/graph_analytics [scale]
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "apps/bfs.hpp"
+#include "runtime/cluster.hpp"
+
+int main(int argc, char** argv) {
+  const int scale = argc > 1 ? std::atoi(argv[1]) : 13;
+  dvx::runtime::Cluster cluster(dvx::runtime::ClusterConfig{.nodes = 8});
+  dvx::apps::BfsParams bp{.scale = scale, .edge_factor = 16, .searches = 3,
+                          .validate = true};
+
+  std::printf("BFS on a scale-%d Kronecker graph (%llu vertices, %llu edges), 8 nodes\n",
+              bp.scale, 1ull << bp.scale,
+              (1ull << bp.scale) * static_cast<unsigned long long>(bp.edge_factor));
+
+  const auto dv = dvx::apps::run_bfs_dv(cluster, bp);
+  std::printf("  Data Vortex : %8.2f MTEPS (harmonic mean over %zu searches)  %s\n",
+              dv.harmonic_mean_teps / 1e6, dv.teps.size(),
+              dv.validated ? "[tree validated]" : dv.validation_error.c_str());
+
+  const auto mpi = dvx::apps::run_bfs_mpi(cluster, bp);
+  std::printf("  MPI over IB : %8.2f MTEPS (harmonic mean over %zu searches)  %s\n",
+              mpi.harmonic_mean_teps / 1e6, mpi.teps.size(),
+              mpi.validated ? "[tree validated]" : mpi.validation_error.c_str());
+
+  std::printf("  speedup     : %8.2fx (paper: irregular traffic favors the DV)\n",
+              dv.harmonic_mean_teps / mpi.harmonic_mean_teps);
+  return (dv.validated && mpi.validated) ? 0 : 1;
+}

@@ -1,0 +1,41 @@
+// 3-D heat diffusion example: the same physics on both networks.
+//
+// Solves the heat equation in an insulated box (Gaussian hot spot) on 8
+// simulated nodes, verifies conservation and agreement with a serial
+// reference, and compares the restructured Data Vortex halo exchange (one
+// DMA batch + counters per step) with conventional MPI Sendrecv halos.
+//
+// Run: ./build/examples/heat3d [grid] [steps]
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "apps/heat.hpp"
+#include "runtime/cluster.hpp"
+
+int main(int argc, char** argv) {
+  const int g = argc > 1 ? std::atoi(argv[1]) : 24;
+  const int steps = argc > 2 ? std::atoi(argv[2]) : 20;
+  dvx::runtime::Cluster cluster(dvx::runtime::ClusterConfig{.nodes = 8});
+  dvx::apps::HeatParams hp{.global_nx = g, .global_ny = g, .global_nz = g,
+                           .steps = steps, .verify = true};
+
+  std::printf("heat equation, %d^3 insulated box, %d steps, 8 nodes\n", g, steps);
+
+  const auto dv = dvx::apps::run_heat_dv(cluster, hp);
+  std::printf("  Data Vortex : %9.1f us   total heat %.6f   residual %.2e   "
+              "|serial diff| %.2e\n",
+              dv.seconds * 1e6, dv.total_heat, dv.final_residual, dv.max_serial_diff);
+
+  const auto mpi = dvx::apps::run_heat_mpi(cluster, hp);
+  std::printf("  MPI over IB : %9.1f us   total heat %.6f   residual %.2e   "
+              "|serial diff| %.2e\n",
+              mpi.seconds * 1e6, mpi.total_heat, mpi.final_residual,
+              mpi.max_serial_diff);
+
+  std::printf("  speedup     : %9.2fx   (identical physics: heat diff %.2e)\n",
+              mpi.seconds / dv.seconds, dv.total_heat - mpi.total_heat);
+  const bool ok = dv.max_serial_diff < 1e-10 && mpi.max_serial_diff < 1e-10;
+  std::printf("  verification: %s\n", ok ? "PASS" : "FAIL");
+  return ok ? 0 : 1;
+}

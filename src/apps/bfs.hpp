@@ -1,0 +1,42 @@
+#pragma once
+// Graph500-style breadth-first search (paper §VI, Fig. 8).
+//
+// A Kronecker graph (power-law degrees) is distributed over the cluster by
+// contiguous vertex blocks; `searches` BFS runs from random roots are timed
+// and reported as harmonic-mean TEPS, the Graph500 headline metric.
+//
+//  * MPI: level-synchronous BFS with per-destination candidate buckets
+//    exchanged via alltoall — destination aggregation, the only viable
+//    strategy over InfiniBand, but the buckets are small and skewed.
+//  * Data Vortex: candidates stream to owners' surprise FIFOs as single
+//    8-byte packets in mixed-destination DMA batches; receivers drain their
+//    FIFO while still sending ("source aggregation is sufficient to hide
+//    most PCIe latency").
+
+#include <cstdint>
+#include <vector>
+
+#include "runtime/cluster.hpp"
+
+namespace dvx::apps {
+
+struct BfsParams {
+  int scale = 15;        ///< 2^scale vertices
+  int edge_factor = 16;  ///< Graph500 default
+  int searches = 8;      ///< paper runs 64; scaled down by default
+  std::uint64_t seed = 2;
+  bool validate = false;  ///< Graph500-validate the last search's tree
+};
+
+struct BfsResult {
+  std::vector<double> teps;  ///< per-search traversed edges per second
+  double harmonic_mean_teps = 0.0;
+  std::uint64_t graph_edges = 0;
+  bool validated = false;    ///< true when validation ran and passed
+  std::string validation_error;  ///< empty unless validation failed
+};
+
+BfsResult run_bfs_dv(runtime::Cluster& cluster, const BfsParams& params);
+BfsResult run_bfs_mpi(runtime::Cluster& cluster, const BfsParams& params);
+
+}  // namespace dvx::apps

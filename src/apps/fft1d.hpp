@@ -1,0 +1,35 @@
+#pragma once
+// Distributed 1-D FFT (paper §VI, Fig. 7).
+//
+// The HPCC-style benchmark: one discrete Fourier transform over N = 2^log
+// randomly initialized points spread across the cluster, six-step
+// formulation (three distributed transposes + two rounds of node-local
+// FFTs + a twiddle scaling). The transposes are the entire communication
+// cost, which is what makes this kernel a showcase for folding data
+// redistribution into the network operation on the Data Vortex.
+//
+// The paper runs 2^33 points; this reproduction defaults to 2^20 (the shape
+// of the comparison, not the absolute GFLOPS, is the target).
+
+#include <cstdint>
+
+#include "runtime/cluster.hpp"
+
+namespace dvx::apps {
+
+struct FftParams {
+  int log_size = 20;    ///< N = 2^log_size points
+  bool verify = false;  ///< compare against the serial six-step FFT
+};
+
+struct FftResult {
+  double seconds = 0.0;
+  double flops = 0.0;
+  double max_error = 0.0;  ///< only filled when verify is set
+  double gflops() const { return flops / seconds / 1e9; }
+};
+
+FftResult run_fft_dv(runtime::Cluster& cluster, const FftParams& params);
+FftResult run_fft_mpi(runtime::Cluster& cluster, const FftParams& params);
+
+}  // namespace dvx::apps

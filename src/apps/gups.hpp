@@ -1,0 +1,46 @@
+#pragma once
+// GUPS / RandomAccess (paper §VI, Figs. 5 and 6).
+//
+// A table of 2^k words per node is updated with XORs at random global
+// locations. Implementation rules cap buffering at 1,024 pending updates, so
+// destination aggregation is impossible by construction.
+//
+//  * MPI (HPCC-style): updates are routed through a log2(P)-dimension
+//    hypercube of sendrecv exchanges, bucket by bucket — the classic
+//    MPIRandomAccess algorithm. Every bucket pays per-stage message latency
+//    and fat-tree contention, which is why per-PE MUPS sink as P grows.
+//  * Data Vortex: the LFSR value itself is the payload (the target offset is
+//    recomputed at the owner), so each update is one 8-byte packet to the
+//    owner's surprise FIFO. Batches mix destinations freely — "aggregation
+//    at source" — and cross PCIe with one DMA per bucket.
+//
+// Verification uses the XOR involution: applying the same update stream a
+// second time must restore table[i] == i exactly.
+
+#include <cstdint>
+
+#include "runtime/cluster.hpp"
+
+namespace dvx::apps {
+
+struct GupsParams {
+  std::uint64_t local_table_words = 1 << 18;  ///< table words per node
+  std::uint64_t updates_per_node = 1 << 16;   ///< weak-scaled update count
+  int buffer_limit = 1024;                    ///< HPCC aggregation cap
+  bool verify = false;  ///< run the stream twice and count errors (untimed rule)
+};
+
+struct GupsResult {
+  double seconds = 0.0;        ///< ROI virtual time of the timed pass
+  double total_updates = 0.0;  ///< across all nodes
+  std::uint64_t errors = 0;    ///< nonzero table mismatches after verify
+  double gups() const { return total_updates / seconds / 1e9; }
+  double mups_per_pe(int nodes) const {
+    return total_updates / seconds / 1e6 / nodes;
+  }
+};
+
+GupsResult run_gups_dv(runtime::Cluster& cluster, const GupsParams& params);
+GupsResult run_gups_mpi(runtime::Cluster& cluster, const GupsParams& params);
+
+}  // namespace dvx::apps

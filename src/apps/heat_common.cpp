@@ -1,0 +1,50 @@
+#include "apps/heat_common.hpp"
+
+namespace dvx::apps::heat_detail {
+
+std::vector<double> serial_reference(const HeatParams& hp) {
+  HaloGrid3 a(hp.global_nx, hp.global_ny, hp.global_nz);
+  HaloGrid3 b(hp.global_nx, hp.global_ny, hp.global_nz);
+  for (int k = 1; k <= hp.global_nz; ++k) {
+    for (int j = 1; j <= hp.global_ny; ++j) {
+      for (int i = 1; i <= hp.global_nx; ++i) {
+        a.at(i, j, k) = initial_value(i - 1, j - 1, k - 1, hp);
+      }
+    }
+  }
+  for (int s = 0; s < hp.steps; ++s) {
+    for (int f = 0; f < 6; ++f) a.reflect_boundary(f);
+    kernels::heat_step(a, b, hp.alpha);
+    std::swap(a, b);
+  }
+  std::vector<double> out;
+  out.reserve(static_cast<std::size_t>(hp.global_nx) * hp.global_ny * hp.global_nz);
+  for (int k = 1; k <= hp.global_nz; ++k) {
+    for (int j = 1; j <= hp.global_ny; ++j) {
+      for (int i = 1; i <= hp.global_nx; ++i) out.push_back(a.at(i, j, k));
+    }
+  }
+  return out;
+}
+
+double block_vs_reference(const HaloGrid3& g, const Block& b, const HeatParams& hp,
+                          const std::vector<double>& ref) {
+  double err = 0.0;
+  for (std::int64_t k = 1; k <= b.n[2]; ++k) {
+    for (std::int64_t j = 1; j <= b.n[1]; ++j) {
+      for (std::int64_t i = 1; i <= b.n[0]; ++i) {
+        const std::int64_t gi = b.lo[0] + i - 1;
+        const std::int64_t gj = b.lo[1] + j - 1;
+        const std::int64_t gk = b.lo[2] + k - 1;
+        const auto idx = static_cast<std::size_t>(
+            (gk * hp.global_ny + gj) * hp.global_nx + gi);
+        err = std::max(err, std::abs(g.at(static_cast<int>(i), static_cast<int>(j),
+                                          static_cast<int>(k)) -
+                                     ref[idx]));
+      }
+    }
+  }
+  return err;
+}
+
+}  // namespace dvx::apps::heat_detail

@@ -1,0 +1,91 @@
+#pragma once
+// Shared pieces of the heat-equation implementations: the 3-D block
+// decomposition, deterministic initial condition, and the serial reference.
+
+#include <array>
+#include <cmath>
+#include <vector>
+
+#include "apps/heat.hpp"
+#include "kernels/stencil.hpp"
+
+namespace dvx::apps::heat_detail {
+
+using kernels::HaloGrid3;
+
+/// One rank's placement in the (px, py, pz) process grid.
+struct Block {
+  std::array<int, 3> pgrid{};
+  std::array<int, 3> coords{};
+  std::array<std::int64_t, 3> lo{};  // global index of first interior cell
+  std::array<std::int64_t, 3> n{};   // interior extents
+  /// Neighbor rank per face (0/1=-x/+x, ...), -1 at a domain boundary.
+  std::array<int, 6> neighbor{};
+};
+
+inline Block block_for(int rank, int ranks, const HeatParams& hp) {
+  Block b;
+  b.pgrid = kernels::process_grid_3d(ranks);
+  const int px = b.pgrid[0], py = b.pgrid[1];
+  b.coords = {rank % px, (rank / px) % py, rank / (px * py)};
+  const std::array<std::int64_t, 3> global = {hp.global_nx, hp.global_ny, hp.global_nz};
+  for (int d = 0; d < 3; ++d) {
+    const auto [g0, g1] = kernels::block_range(global[static_cast<std::size_t>(d)],
+                                               b.pgrid[static_cast<std::size_t>(d)],
+                                               b.coords[static_cast<std::size_t>(d)]);
+    b.lo[static_cast<std::size_t>(d)] = g0;
+    b.n[static_cast<std::size_t>(d)] = g1 - g0;
+  }
+  auto rank_of = [&](int cx, int cy, int cz) {
+    return (cz * py + cy) * px + cx;
+  };
+  const auto [cx, cy, cz] = b.coords;
+  b.neighbor[0] = cx > 0 ? rank_of(cx - 1, cy, cz) : -1;
+  b.neighbor[1] = cx + 1 < b.pgrid[0] ? rank_of(cx + 1, cy, cz) : -1;
+  b.neighbor[2] = cy > 0 ? rank_of(cx, cy - 1, cz) : -1;
+  b.neighbor[3] = cy + 1 < b.pgrid[1] ? rank_of(cx, cy + 1, cz) : -1;
+  b.neighbor[4] = cz > 0 ? rank_of(cx, cy, cz - 1) : -1;
+  b.neighbor[5] = cz + 1 < b.pgrid[2] ? rank_of(cx, cy, cz + 1) : -1;
+  return b;
+}
+
+/// Initial temperature: a smooth Gaussian blob off the domain center.
+inline double initial_value(std::int64_t i, std::int64_t j, std::int64_t k,
+                            const HeatParams& hp) {
+  const double x = (static_cast<double>(i) + 0.5) / hp.global_nx - 0.4;
+  const double y = (static_cast<double>(j) + 0.5) / hp.global_ny - 0.55;
+  const double z = (static_cast<double>(k) + 0.5) / hp.global_nz - 0.5;
+  return 100.0 * std::exp(-18.0 * (x * x + y * y + z * z));
+}
+
+inline void fill_block(HaloGrid3& g, const Block& b, const HeatParams& hp) {
+  for (std::int64_t k = 1; k <= b.n[2]; ++k) {
+    for (std::int64_t j = 1; j <= b.n[1]; ++j) {
+      for (std::int64_t i = 1; i <= b.n[0]; ++i) {
+        g.at(static_cast<int>(i), static_cast<int>(j), static_cast<int>(k)) =
+            initial_value(b.lo[0] + i - 1, b.lo[1] + j - 1, b.lo[2] + k - 1, hp);
+      }
+    }
+  }
+}
+
+inline double block_sum(const HaloGrid3& g, const Block& b) {
+  double s = 0.0;
+  for (std::int64_t k = 1; k <= b.n[2]; ++k) {
+    for (std::int64_t j = 1; j <= b.n[1]; ++j) {
+      for (std::int64_t i = 1; i <= b.n[0]; ++i) {
+        s += g.at(static_cast<int>(i), static_cast<int>(j), static_cast<int>(k));
+      }
+    }
+  }
+  return s;
+}
+
+/// Full-domain serial solve (verification reference).
+std::vector<double> serial_reference(const HeatParams& hp);
+
+/// Max |block - reference| over a rank's interior.
+double block_vs_reference(const HaloGrid3& g, const Block& b, const HeatParams& hp,
+                          const std::vector<double>& ref);
+
+}  // namespace dvx::apps::heat_detail

@@ -1,0 +1,240 @@
+#include "apps/snap_core.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+#include <stdexcept>
+
+#include "kernels/stencil.hpp"
+
+namespace dvx::apps::snap_detail {
+
+int SnapBlock::y_upstream(int sy) const {
+  const int c = sy > 0 ? cy - 1 : cy + 1;
+  return (c < 0 || c >= py) ? -1 : rank_of(c, cz);
+}
+int SnapBlock::y_downstream(int sy) const { return y_upstream(-sy); }
+int SnapBlock::z_upstream(int sz) const {
+  const int c = sz > 0 ? cz - 1 : cz + 1;
+  return (c < 0 || c >= pz) ? -1 : rank_of(cy, c);
+}
+int SnapBlock::z_downstream(int sz) const { return z_upstream(-sz); }
+
+SnapBlock block_for(int rank, int ranks, const SnapParams& p) {
+  // Factor ranks into the most square py x pz grid.
+  int py = 1;
+  for (int f = 1; f * f <= ranks; ++f) {
+    if (ranks % f == 0) py = f;
+  }
+  SnapBlock b;
+  b.py = py;
+  b.pz = ranks / py;
+  b.cy = rank % py;
+  b.cz = rank / py;
+  const auto [y0, y1] = kernels::block_range(p.ny, b.py, b.cy);
+  const auto [z0, z1] = kernels::block_range(p.nz, b.pz, b.cz);
+  b.y0 = y0;
+  b.ny_l = y1 - y0;
+  b.z0 = z0;
+  b.nz_l = z1 - z0;
+  if (b.ny_l == 0 || b.nz_l == 0) {
+    throw std::invalid_argument("snap: mesh too small for the process grid");
+  }
+  return b;
+}
+
+std::array<int, 3> octant_signs(int octant) {
+  return {(octant & 1) ? -1 : 1, (octant & 2) ? -1 : 1, (octant & 4) ? -1 : 1};
+}
+
+Quadrature make_quadrature(int nang) {
+  // Simple positive-octant product quadrature normalized so that the
+  // weights of all 8 octants sum to 4*pi (SNAP convention).
+  Quadrature q;
+  q.mu.resize(static_cast<std::size_t>(nang));
+  q.eta.resize(static_cast<std::size_t>(nang));
+  q.xi.resize(static_cast<std::size_t>(nang));
+  q.w.assign(static_cast<std::size_t>(nang),
+             4.0 * std::numbers::pi / (8.0 * static_cast<double>(nang)));
+  for (int a = 0; a < nang; ++a) {
+    const double t = (static_cast<double>(a) + 0.5) / static_cast<double>(nang);
+    const double mu = 0.05 + 0.9 * t;              // in (0, 1)
+    const double phi = 0.5 * std::numbers::pi * t;  // azimuth within the octant
+    const double s = std::sqrt(std::max(0.0, 1.0 - mu * mu));
+    q.mu[static_cast<std::size_t>(a)] = mu;
+    q.eta[static_cast<std::size_t>(a)] = std::max(0.05, s * std::cos(phi));
+    q.xi[static_cast<std::size_t>(a)] = std::max(0.05, s * std::sin(phi));
+  }
+  return q;
+}
+
+SnapCore::SnapCore(const SnapParams& params, int rank, int ranks)
+    : params_(params),
+      blk_(block_for(rank, ranks, params)),
+      quad_(make_quadrature(params.nang)),
+      chunks_((params.nx + params.ichunk - 1) / params.ichunk) {
+  const auto cells = static_cast<std::size_t>(params.ng) * params.nx *
+                     static_cast<std::size_t>(blk_.ny_l) *
+                     static_cast<std::size_t>(blk_.nz_l);
+  phi_.assign(cells, 0.0);
+  phi_prev_.assign(cells, 0.0);
+  qext_.assign(cells, 0.0);
+  // External source: unit strength in the central eighth of the global box,
+  // scaled down per energy group.
+  for (int g = 0; g < params.ng; ++g) {
+    for (std::int64_t iz = 0; iz < blk_.nz_l; ++iz) {
+      for (std::int64_t iy = 0; iy < blk_.ny_l; ++iy) {
+        for (std::int64_t ix = 0; ix < params.nx; ++ix) {
+          const std::int64_t gy = blk_.y0 + iy;
+          const std::int64_t gz = blk_.z0 + iz;
+          const bool inside = ix >= params.nx * 3 / 8 && ix < params.nx * 5 / 8 &&
+                              gy >= params.ny * 3 / 8 && gy < params.ny * 5 / 8 &&
+                              gz >= params.nz * 3 / 8 && gz < params.nz * 5 / 8;
+          if (inside) {
+            qext_[cell_index(g, ix, iy, iz)] = 1.0 / static_cast<double>(g + 1);
+          }
+        }
+      }
+    }
+  }
+  psi_x_.assign(static_cast<std::size_t>(params.ng) * blk_.ny_l * blk_.nz_l *
+                    static_cast<std::size_t>(params.nang),
+                0.0);
+}
+
+std::size_t SnapCore::cell_index(int g, std::int64_t ix, std::int64_t iy,
+                                 std::int64_t iz) const {
+  return ((static_cast<std::size_t>(g) * params_.nx + static_cast<std::size_t>(ix)) *
+              static_cast<std::size_t>(blk_.ny_l) +
+          static_cast<std::size_t>(iy)) *
+             static_cast<std::size_t>(blk_.nz_l) +
+         static_cast<std::size_t>(iz);
+}
+
+std::pair<std::int64_t, std::int64_t> SnapCore::chunk_range(int c, int sx) const {
+  const int idx = sx > 0 ? c : chunks_ - 1 - c;
+  const std::int64_t x0 = static_cast<std::int64_t>(idx) * params_.ichunk;
+  const std::int64_t x1 = std::min<std::int64_t>(x0 + params_.ichunk, params_.nx);
+  return {x0, x1};
+}
+
+std::int64_t SnapCore::y_face_len(int c) const {
+  const auto [x0, x1] = chunk_range(c, 1);
+  return (x1 - x0) * blk_.nz_l * params_.nang * params_.ng;
+}
+
+std::int64_t SnapCore::z_face_len(int c) const {
+  const auto [x0, x1] = chunk_range(c, 1);
+  return (x1 - x0) * blk_.ny_l * params_.nang * params_.ng;
+}
+
+void SnapCore::begin_outer() { std::fill(phi_.begin(), phi_.end(), 0.0); }
+
+void SnapCore::begin_octant(int /*octant*/) {
+  std::fill(psi_x_.begin(), psi_x_.end(), 0.0);  // vacuum x boundary
+}
+
+void SnapCore::sweep_chunk(int octant, int c, std::span<const double> in_y,
+                           std::span<const double> in_z, std::vector<double>& out_y,
+                           std::vector<double>& out_z) {
+  const auto [sx, sy, sz] = octant_signs(octant);
+  const auto [x0, x1] = chunk_range(c, sx);
+  const int nang = params_.nang;
+  const std::int64_t cxl = x1 - x0;
+  const std::int64_t ny = blk_.ny_l, nz = blk_.nz_l;
+
+  out_y.assign(static_cast<std::size_t>(cxl * nz * nang * params_.ng), 0.0);
+  out_z.assign(static_cast<std::size_t>(cxl * ny * nang * params_.ng), 0.0);
+  const bool vac_y = in_y.empty();
+  const bool vac_z = in_z.empty();
+
+  const double cx2 = 2.0 / params_.dx;
+  const double cy2 = 2.0 / params_.dy;
+  const double cz2 = 2.0 / params_.dz;
+  const double s_norm = params_.sigma_s / (4.0 * std::numbers::pi);
+
+  for (int g = 0; g < params_.ng; ++g) {
+    // Face slices for this group: layout [g][ix][iz|iy][a].
+    const std::size_t yg = static_cast<std::size_t>(g) * cxl * nz * nang;
+    const std::size_t zg = static_cast<std::size_t>(g) * cxl * ny * nang;
+    for (std::int64_t xi_ = 0; xi_ < cxl; ++xi_) {
+      const std::int64_t ix = sx > 0 ? x0 + xi_ : x1 - 1 - xi_;
+      // Working faces for this plane (updated in place while sweeping).
+      std::vector<double> fy(static_cast<std::size_t>(nz * nang));
+      std::vector<double> fz(static_cast<std::size_t>(ny * nang));
+      if (!vac_y) {
+        std::copy_n(in_y.begin() + static_cast<std::ptrdiff_t>(yg + xi_ * nz * nang),
+                    nz * nang, fy.begin());
+      }
+      if (!vac_z) {
+        std::copy_n(in_z.begin() + static_cast<std::ptrdiff_t>(zg + xi_ * ny * nang),
+                    ny * nang, fz.begin());
+      }
+      for (std::int64_t zi = 0; zi < nz; ++zi) {
+        const std::int64_t iz = sz > 0 ? zi : nz - 1 - zi;
+        for (std::int64_t yi = 0; yi < ny; ++yi) {
+          const std::int64_t iy = sy > 0 ? yi : ny - 1 - yi;
+          const std::size_t cell = cell_index(g, ix, iy, iz);
+          const double q = qext_[cell] + s_norm * phi_prev_[cell];
+          for (int a = 0; a < nang; ++a) {
+            const std::size_t xa =
+                ((static_cast<std::size_t>(g) * ny + static_cast<std::size_t>(iy)) * nz +
+                 static_cast<std::size_t>(iz)) *
+                    static_cast<std::size_t>(nang) +
+                static_cast<std::size_t>(a);
+            const std::size_t ya =
+                static_cast<std::size_t>(iz * nang + a);
+            const std::size_t za =
+                static_cast<std::size_t>(iy * nang + a);
+            const double cmu = cx2 * quad_.mu[static_cast<std::size_t>(a)];
+            const double ceta = cy2 * quad_.eta[static_cast<std::size_t>(a)];
+            const double cxi = cz2 * quad_.xi[static_cast<std::size_t>(a)];
+            const double denom = params_.sigma_t + cmu + ceta + cxi;
+            const double psi =
+                (q + cmu * psi_x_[xa] + ceta * fy[ya] + cxi * fz[za]) / denom;
+            // Diamond difference outgoing fluxes with the set-to-zero
+            // negative-flux fixup (SNAP's default transport correction).
+            psi_x_[xa] = std::max(0.0, 2.0 * psi - psi_x_[xa]);
+            fy[ya] = std::max(0.0, 2.0 * psi - fy[ya]);
+            fz[za] = std::max(0.0, 2.0 * psi - fz[za]);
+            phi_[cell] += quad_.w[static_cast<std::size_t>(a)] * psi;
+            ++updates_;
+          }
+        }
+      }
+      std::copy_n(fy.begin(), nz * nang,
+                  out_y.begin() + static_cast<std::ptrdiff_t>(yg + xi_ * nz * nang));
+      std::copy_n(fz.begin(), ny * nang,
+                  out_z.begin() + static_cast<std::ptrdiff_t>(zg + xi_ * ny * nang));
+    }
+  }
+}
+
+double SnapCore::finish_outer() {
+  double res = 0.0;
+  for (std::size_t i = 0; i < phi_.size(); ++i) {
+    res = std::max(res, std::abs(phi_[i] - phi_prev_[i]));
+  }
+  phi_prev_ = phi_;
+  return res;
+}
+
+double SnapCore::chunk_flops(int c) const {
+  const auto [x0, x1] = chunk_range(c, 1);
+  return 20.0 * static_cast<double>((x1 - x0) * blk_.ny_l * blk_.nz_l) *
+         params_.nang * params_.ng;
+}
+
+double SnapCore::flux_sum() const {
+  double s = 0.0;
+  for (double v : phi_prev_) s += v;
+  return s;
+}
+
+double SnapCore::flux_min() const {
+  double m = 0.0;
+  for (double v : phi_prev_) m = std::min(m, v);
+  return m;
+}
+
+}  // namespace dvx::apps::snap_detail

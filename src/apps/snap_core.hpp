@@ -1,0 +1,85 @@
+#pragma once
+// Backend-independent core of the SNAP proxy: mesh decomposition, level-
+// symmetric-ish quadrature, the diamond-difference chunk sweep, and the
+// source-iteration bookkeeping. The MPI and Data Vortex ports drive this
+// core and differ only in how chunk faces move between ranks.
+
+#include <array>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "apps/snap.hpp"
+
+namespace dvx::apps::snap_detail {
+
+/// One rank's block of the y-z decomposition (x stays whole: KBA pencils).
+struct SnapBlock {
+  int py = 1, pz = 1;  ///< process grid extents
+  int cy = 0, cz = 0;  ///< this rank's coordinates
+  std::int64_t y0 = 0, ny_l = 0;
+  std::int64_t z0 = 0, nz_l = 0;
+
+  /// Upstream/downstream rank in y for sweep direction sy (+1/-1); -1 at
+  /// the domain boundary.
+  int y_upstream(int sy) const;
+  int y_downstream(int sy) const;
+  int z_upstream(int sz) const;
+  int z_downstream(int sz) const;
+  int rank_of(int cy_, int cz_) const { return cz_ * py + cy_; }
+};
+
+SnapBlock block_for(int rank, int ranks, const SnapParams& p);
+
+/// Octant direction signs: octant o -> (sx, sy, sz) in {-1, +1}^3.
+std::array<int, 3> octant_signs(int octant);
+
+struct Quadrature {
+  std::vector<double> mu, eta, xi, w;  ///< per angle, all positive
+};
+Quadrature make_quadrature(int nang);
+
+class SnapCore {
+ public:
+  SnapCore(const SnapParams& params, int rank, int ranks);
+
+  const SnapParams& params() const noexcept { return params_; }
+  const SnapBlock& block() const noexcept { return blk_; }
+  int chunks() const noexcept { return chunks_; }
+  /// Global x-range [x0, x1) of chunk `c` in sweep order for direction sx.
+  std::pair<std::int64_t, std::int64_t> chunk_range(int c, int sx) const;
+
+  /// Words (doubles) of the y face of one chunk (all angles, all groups).
+  std::int64_t y_face_len(int c) const;
+  std::int64_t z_face_len(int c) const;
+
+  void begin_outer();                  // zero the flux accumulators
+  void begin_octant(int octant);       // vacuum x-boundary angular flux
+  /// Sweeps one chunk: consumes incoming faces (empty spans mean vacuum
+  /// boundary), produces outgoing faces, accumulates scalar flux.
+  void sweep_chunk(int octant, int c, std::span<const double> in_y,
+                   std::span<const double> in_z, std::vector<double>& out_y,
+                   std::vector<double>& out_z);
+  /// Ends a source iteration: returns max |phi - phi_prev| (local).
+  double finish_outer();
+
+  /// FLOPs to charge for one chunk sweep.
+  double chunk_flops(int c) const;
+
+  double flux_sum() const;
+  double flux_min() const;
+  std::int64_t cell_angle_updates() const noexcept { return updates_; }
+
+ private:
+  std::size_t cell_index(int g, std::int64_t ix, std::int64_t iy, std::int64_t iz) const;
+
+  SnapParams params_;
+  SnapBlock blk_;
+  Quadrature quad_;
+  int chunks_;
+  std::vector<double> phi_, phi_prev_, qext_;
+  std::vector<double> psi_x_;  // [g][iy][iz][a], persists across chunks
+  std::int64_t updates_ = 0;
+};
+
+}  // namespace dvx::apps::snap_detail

@@ -1,0 +1,59 @@
+// Barriers (paper §V, Fig. 4).
+//
+// barrier() is the API intrinsic: it uses the two reserved group counters
+// and completes inside the VICs, so its latency is nearly flat in node
+// count. fast_barrier() is the paper's in-house alternative built on
+// all-to-all single-word traffic against preset user counters with sense
+// reversal; its cost emerges from the PCIe and fabric models.
+
+#include "dvapi/context.hpp"
+
+namespace dvx::dvapi {
+
+sim::Coro<void> DvContext::barrier() {
+  const sim::Time t0 = engine_.now();
+  // Arming the hardware barrier costs one posted PCIe write.
+  const sim::Time armed = vic().pcie().direct_write(8, t0);
+  co_await engine_.resume_at(armed);
+  co_await fabric_.intrinsic_barrier(rank_);
+  trace_state(sim::NodeState::kBarrier, t0);
+}
+
+sim::Coro<void> DvContext::fast_barrier() {
+  const sim::Time t0 = engine_.now();
+  const auto n = static_cast<std::uint64_t>(nodes());
+
+  if (!fast_barrier_primed_) {
+    // Preset both sense counters, then synchronize once on the intrinsic
+    // barrier so no decrement can race an unarmed counter (paper §III:
+    // "typically the developer will set up the communication by presetting
+    // a group counter ... and invoke a barrier").
+    co_await counter_set_local(kFastBarrierA, n - 1);
+    co_await counter_set_local(kFastBarrierB, n - 1);
+    fast_barrier_primed_ = true;
+    co_await fabric_.intrinsic_barrier(rank_);
+  }
+
+  const int ctr = (fast_barrier_phase_ % 2 == 0) ? kFastBarrierA : kFastBarrierB;
+  ++fast_barrier_phase_;
+
+  // Notify everyone else: one word each, aimed at their sense counter.
+  std::vector<vic::Packet> batch;
+  batch.reserve(static_cast<std::size_t>(nodes() - 1));
+  for (int peer = 0; peer < nodes(); ++peer) {
+    if (peer == rank_) continue;
+    batch.push_back(vic::Packet{
+        vic::Header{static_cast<std::uint16_t>(peer), vic::DestKind::kDvMemory,
+                    static_cast<std::uint8_t>(ctr), kScratchSlot},
+        0});
+  }
+  co_await send_direct_batch(batch);
+  co_await counter_wait_zero(ctr);
+  // Re-arm for the next same-sense phase. Safe: a peer can only reach that
+  // phase after receiving our *next* (other-sense) notification, which we
+  // send after this line runs.
+  co_await counter_set_local(ctr, n - 1);
+  trace_state(sim::NodeState::kBarrier, t0);
+}
+
+}  // namespace dvx::dvapi

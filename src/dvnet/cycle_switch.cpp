@@ -1,0 +1,159 @@
+#include "dvnet/cycle_switch.hpp"
+
+#include <cassert>
+#include <stdexcept>
+
+namespace dvx::dvnet {
+
+CycleSwitch::CycleSwitch(Geometry geometry) : geometry_(geometry) {
+  geometry_.validate();
+  occupancy_.assign(static_cast<std::size_t>(geometry_.nodes()), 0);
+  occupancy_next_.assign(occupancy_.size(), 0);
+  port_queues_.resize(static_cast<std::size_t>(geometry_.ports()));
+}
+
+void CycleSwitch::inject(int src_port, int dst_port, std::uint64_t tag) {
+  if (src_port < 0 || src_port >= geometry_.ports() || dst_port < 0 ||
+      dst_port >= geometry_.ports()) {
+    throw std::out_of_range("CycleSwitch::inject: port out of range");
+  }
+  CyclePacket p;
+  p.src_port = src_port;
+  p.dst_port = dst_port;
+  p.tag = tag;
+  port_queues_[static_cast<std::size_t>(src_port)].push_back(p);
+}
+
+std::size_t CycleSwitch::queued() const {
+  std::size_t n = 0;
+  for (const auto& q : port_queues_) n += q.size();
+  return n;
+}
+
+void CycleSwitch::step() {
+  const int kC = geometry_.cylinders();
+  const int kBits = geometry_.height_bits();
+
+  std::fill(occupancy_next_.begin(), occupancy_next_.end(), 0);
+
+  // Bucket in-flight packets by cylinder; process innermost -> outermost so
+  // that a cylinder's same-cylinder moves (which carry the deflection signal)
+  // are known before any outer packet tries to descend into it.
+  std::vector<std::vector<std::uint32_t>> buckets(static_cast<std::size_t>(kC));
+  for (std::size_t node = 0; node < occupancy_.size(); ++node) {
+    const std::uint32_t slot1 = occupancy_[node];
+    if (slot1 == 0) continue;
+    buckets[static_cast<std::size_t>(packets_[slot1 - 1].cylinder)].push_back(slot1 - 1);
+  }
+
+  // Innermost cylinder: fully height-routed packets circulate to their
+  // destination angle and eject there.
+  for (std::uint32_t slot : buckets[static_cast<std::size_t>(kC - 1)]) {
+    CyclePacket& p = packets_[slot];
+    const int dst_h = geometry_.port_height(p.dst_port);
+    const int dst_a = geometry_.port_angle(p.dst_port);
+    assert(p.height == dst_h && "innermost packets are height-routed");
+    if (p.height == dst_h && p.angle == dst_a) {
+      deliveries_.push_back(Delivery{p.src_port, p.dst_port, p.tag, p.inject_cycle, cycle_,
+                                     p.hops, p.deflections});
+      free_slots_.push_back(slot);
+      --in_flight_;
+      continue;
+    }
+    p.angle = next_angle(p.angle);
+    ++p.hops;
+    occupancy_next_[static_cast<std::size_t>(node_index(kC - 1, p.height, p.angle))] =
+        slot + 1;
+  }
+
+  // Outer cylinders: descend on a height-bit match when the inner node is
+  // free; otherwise traverse the deflection path within the cylinder.
+  for (int c = kC - 2; c >= 0; --c) {
+    const int bit_index = kBits - 1 - c;
+    const int mask = 1 << bit_index;
+    for (std::uint32_t slot : buckets[static_cast<std::size_t>(c)]) {
+      CyclePacket& p = packets_[slot];
+      const int dst_h = geometry_.port_height(p.dst_port);
+      const bool bit_match = ((dst_h >> bit_index) & 1) == ((p.height >> bit_index) & 1);
+      const int na = next_angle(p.angle);
+      if (bit_match) {
+        const std::size_t target =
+            static_cast<std::size_t>(node_index(c + 1, p.height, na));
+        if (occupancy_next_[target] == 0) {
+          p.cylinder = c + 1;
+          p.angle = na;
+          ++p.hops;
+          occupancy_next_[target] = slot + 1;
+          continue;
+        }
+        ++p.deflections;  // blocked by the deflection signal: hot-potato on
+      }
+      p.height ^= mask;
+      p.angle = na;
+      ++p.hops;
+      occupancy_next_[static_cast<std::size_t>(node_index(c, p.height, p.angle))] =
+          slot + 1;
+    }
+  }
+
+  // Injection: one packet per input port per cycle, only into a free node.
+  for (int port = 0; port < geometry_.ports(); ++port) {
+    auto& q = port_queues_[static_cast<std::size_t>(port)];
+    if (q.empty()) continue;
+    const int h = geometry_.port_height(port);
+    const int a = geometry_.port_angle(port);
+    const std::size_t node = static_cast<std::size_t>(node_index(0, h, a));
+    if (occupancy_next_[node] != 0) continue;  // backpressured this cycle
+    CyclePacket p = q.front();
+    q.erase(q.begin());
+    p.cylinder = 0;
+    p.height = h;
+    p.angle = a;
+    p.inject_cycle = cycle_;
+    std::uint32_t slot;
+    if (!free_slots_.empty()) {
+      slot = free_slots_.back();
+      free_slots_.pop_back();
+      packets_[slot] = p;
+    } else {
+      slot = static_cast<std::uint32_t>(packets_.size());
+      packets_.push_back(p);
+    }
+    occupancy_next_[node] = slot + 1;
+    ++in_flight_;
+  }
+
+  occupancy_.swap(occupancy_next_);
+  ++cycle_;
+}
+
+bool CycleSwitch::drain(std::uint64_t max_cycles) {
+  const std::uint64_t limit = cycle_ + max_cycles;
+  while (in_flight_ > 0 || queued() > 0) {
+    if (cycle_ >= limit) return false;
+    step();
+  }
+  return true;
+}
+
+sim::RunningStats CycleSwitch::latency_stats() const {
+  sim::RunningStats s;
+  for (const auto& d : deliveries_) {
+    s.add(static_cast<double>(d.eject_cycle - d.inject_cycle));
+  }
+  return s;
+}
+
+sim::RunningStats CycleSwitch::hop_stats() const {
+  sim::RunningStats s;
+  for (const auto& d : deliveries_) s.add(static_cast<double>(d.hops));
+  return s;
+}
+
+sim::RunningStats CycleSwitch::deflection_stats() const {
+  sim::RunningStats s;
+  for (const auto& d : deliveries_) s.add(static_cast<double>(d.deflections));
+  return s;
+}
+
+}  // namespace dvx::dvnet

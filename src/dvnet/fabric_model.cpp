@@ -1,0 +1,56 @@
+#include "dvnet/fabric_model.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace dvx::dvnet {
+
+FabricModel::FabricModel(FabricParams params) : params_(params) {
+  params_.geometry.validate();
+  if (params_.cycle <= 0) throw std::invalid_argument("FabricModel: cycle must be positive");
+  reset();
+}
+
+void FabricModel::reset() {
+  inj_free_.assign(static_cast<std::size_t>(ports()), 0);
+  ej_free_.assign(static_cast<std::size_t>(ports()), 0);
+  words_sent_ = 0;
+}
+
+double FabricModel::port_bandwidth() const noexcept {
+  return 8.0 / sim::to_seconds(params_.cycle);
+}
+
+sim::Duration FabricModel::base_latency() const noexcept {
+  return static_cast<sim::Duration>(params_.derived_base_hops() *
+                                    static_cast<double>(params_.cycle));
+}
+
+BurstTiming FabricModel::send_burst(int src_port, int dst_port, std::int64_t words,
+                                    sim::Time ready) {
+  if (src_port < 0 || src_port >= ports() || dst_port < 0 || dst_port >= ports()) {
+    throw std::out_of_range("FabricModel::send_burst: port out of range");
+  }
+  if (words <= 0) return BurstTiming{ready, ready};
+
+  auto& inj = inj_free_[static_cast<std::size_t>(src_port)];
+  auto& ej = ej_free_[static_cast<std::size_t>(dst_port)];
+
+  const bool contended = inj > ready || ej > ready;
+  const double hops =
+      params_.derived_base_hops() + (contended ? params_.contended_extra_hops : 0.0);
+  const auto latency =
+      static_cast<sim::Duration>(hops * static_cast<double>(params_.cycle));
+
+  const sim::Time start = std::max(ready, inj);
+  inj = start + words * params_.cycle;
+
+  // First word finishes injecting one cycle after start, then traverses.
+  const sim::Time first_at_dst = start + params_.cycle + latency;
+  const sim::Time ej_begin = std::max(first_at_dst, ej);
+  ej = ej_begin + (words - 1) * params_.cycle;
+  words_sent_ += static_cast<std::uint64_t>(words);
+  return BurstTiming{ej_begin, ej};
+}
+
+}  // namespace dvx::dvnet

@@ -1,0 +1,34 @@
+#include "dvnet/geometry.hpp"
+
+#include <bit>
+#include <stdexcept>
+
+namespace dvx::dvnet {
+
+int Geometry::height_bits() const noexcept {
+  return std::bit_width(static_cast<unsigned>(heights)) - 1;
+}
+
+int Geometry::cylinders() const noexcept { return height_bits() + 1; }
+
+Geometry Geometry::for_ports(int min_ports, int angles) {
+  if (min_ports <= 0 || angles <= 0) {
+    throw std::invalid_argument("Geometry::for_ports: ports and angles must be positive");
+  }
+  int h = (min_ports + angles - 1) / angles;
+  unsigned rounded = std::bit_ceil(static_cast<unsigned>(h < 2 ? 2 : h));
+  Geometry g{static_cast<int>(rounded), angles};
+  g.validate();
+  return g;
+}
+
+void Geometry::validate() const {
+  if (heights < 2 || !std::has_single_bit(static_cast<unsigned>(heights))) {
+    throw std::invalid_argument("Geometry: heights must be a power of two >= 2");
+  }
+  if (angles < 1) {
+    throw std::invalid_argument("Geometry: angles must be >= 1");
+  }
+}
+
+}  // namespace dvx::dvnet

@@ -1,0 +1,42 @@
+#pragma once
+// Data Vortex switch geometry (paper §II).
+//
+// The switch is a set of C nested cylinders; each cylinder carries H rings of
+// A switching nodes. A node is addressed by (cylinder c, height h, angle a).
+// C scales with H as C = log2(H) + 1; the fabric exposes Nt = A*H input ports
+// (on the outermost cylinder) and Nt output ports (on the innermost), so the
+// total switching-node count is A*H*(log2(H)+1) ~ Nt*log2(Nt).
+
+#include <cstdint>
+
+namespace dvx::dvnet {
+
+struct Geometry {
+  int heights = 8;  ///< H: nodes along the cylinder height (power of two)
+  int angles = 4;   ///< A: nodes along the cylinder circumference
+
+  /// C = log2(H) + 1 routing levels.
+  int cylinders() const noexcept;
+  /// Nt = A * H injection (and ejection) ports.
+  int ports() const noexcept { return heights * angles; }
+  /// Total switching nodes A * H * C.
+  int nodes() const noexcept { return ports() * cylinders(); }
+  /// log2(H): number of height bits resolved while descending.
+  int height_bits() const noexcept;
+
+  /// Height (ring) a port attaches to: port p -> h = p % H.
+  int port_height(int port) const noexcept { return port % heights; }
+  /// Angle a port attaches to: port p -> a = p / H.
+  int port_angle(int port) const noexcept { return port / heights; }
+  /// Inverse of (port_height, port_angle).
+  int port_of(int h, int a) const noexcept { return a * heights + h; }
+
+  /// Builds a geometry exposing at least `min_ports` ports with `angles`
+  /// nodes per ring; H is rounded up to a power of two. Throws on bad args.
+  static Geometry for_ports(int min_ports, int angles = 4);
+
+  /// Validates invariants (H power of two, positive A). Throws on violation.
+  void validate() const;
+};
+
+}  // namespace dvx::dvnet

@@ -1,0 +1,95 @@
+#include "kernels/csr.hpp"
+
+#include <algorithm>
+#include <deque>
+#include <stdexcept>
+
+namespace dvx::kernels {
+
+Csr::Csr(std::uint64_t vertices, std::span<const Edge> edges) {
+  row_ptr_.assign(vertices + 1, 0);
+  std::size_t kept = 0;
+  for (const auto& e : edges) {
+    if (e.u == e.v) continue;  // drop self-loops
+    if (e.u >= vertices || e.v >= vertices) {
+      throw std::out_of_range("Csr: edge endpoint out of range");
+    }
+    ++row_ptr_[e.u + 1];
+    ++row_ptr_[e.v + 1];
+    ++kept;
+  }
+  for (std::uint64_t v = 0; v < vertices; ++v) row_ptr_[v + 1] += row_ptr_[v];
+  col_.resize(2 * kept);
+  std::vector<std::uint64_t> cursor(row_ptr_.begin(), row_ptr_.end() - 1);
+  for (const auto& e : edges) {
+    if (e.u == e.v) continue;
+    col_[cursor[e.u]++] = e.v;
+    col_[cursor[e.v]++] = e.u;
+  }
+}
+
+std::vector<std::uint64_t> bfs_serial(const Csr& g, std::uint64_t root) {
+  std::vector<std::uint64_t> parent(g.vertices(), kNoParent);
+  if (root >= g.vertices()) throw std::out_of_range("bfs_serial: bad root");
+  parent[root] = root;
+  std::deque<std::uint64_t> frontier{root};
+  while (!frontier.empty()) {
+    const std::uint64_t v = frontier.front();
+    frontier.pop_front();
+    for (std::uint64_t w : g.neighbors(v)) {
+      if (parent[w] == kNoParent) {
+        parent[w] = v;
+        frontier.push_back(w);
+      }
+    }
+  }
+  return parent;
+}
+
+double traversed_edges(const Csr& g, std::span<const std::uint64_t> parent) {
+  std::uint64_t deg_sum = 0;
+  for (std::uint64_t v = 0; v < g.vertices(); ++v) {
+    if (parent[v] != kNoParent) deg_sum += g.degree(v);
+  }
+  return static_cast<double>(deg_sum) / 2.0;
+}
+
+std::string validate_bfs(const Csr& g, std::uint64_t root,
+                         std::span<const std::uint64_t> parent) {
+  if (parent.size() != g.vertices()) return "parent array size mismatch";
+  if (parent[root] != root) return "parent[root] != root";
+
+  // Compute levels by chasing parents (with cycle guard).
+  std::vector<std::int64_t> level(g.vertices(), -1);
+  level[root] = 0;
+  for (std::uint64_t v = 0; v < g.vertices(); ++v) {
+    if (parent[v] == kNoParent || level[v] >= 0) continue;
+    std::vector<std::uint64_t> chain;
+    std::uint64_t x = v;
+    while (level[x] < 0) {
+      chain.push_back(x);
+      if (parent[x] == kNoParent) return "tree reaches an unvisited vertex";
+      if (chain.size() > g.vertices()) return "cycle in parent tree";
+      x = parent[x];
+    }
+    std::int64_t l = level[x];
+    for (auto it = chain.rbegin(); it != chain.rend(); ++it) level[*it] = ++l;
+  }
+
+  const auto reference = bfs_serial(g, root);
+  for (std::uint64_t v = 0; v < g.vertices(); ++v) {
+    const bool reached = parent[v] != kNoParent;
+    const bool ref_reached = reference[v] != kNoParent;
+    if (reached != ref_reached) return "reachability mismatch at vertex";
+    if (!reached || v == root) continue;
+    // Tree edge must exist.
+    const auto nbrs = g.neighbors(v);
+    if (std::find(nbrs.begin(), nbrs.end(), parent[v]) == nbrs.end()) {
+      return "tree edge not present in graph";
+    }
+    if (level[v] != level[parent[v]] + 1) return "level inconsistency";
+  }
+  return {};
+}
+
+}  // namespace dvx::kernels

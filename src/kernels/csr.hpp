@@ -1,0 +1,54 @@
+#pragma once
+// Compressed-sparse-row graph storage plus BFS reference and Graph500-style
+// validation used by the distributed BFS benchmark.
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "kernels/kronecker.hpp"
+
+namespace dvx::kernels {
+
+class Csr {
+ public:
+  /// Builds an undirected CSR over `vertices` ids from an edge list.
+  /// Self-loops are dropped; multi-edges are kept (Graph500 permits them).
+  Csr(std::uint64_t vertices, std::span<const Edge> edges);
+
+  std::uint64_t vertices() const noexcept { return row_ptr_.size() - 1; }
+  std::uint64_t edges_stored() const noexcept { return col_.size(); }
+
+  std::span<const std::uint64_t> neighbors(std::uint64_t v) const {
+    return std::span<const std::uint64_t>(col_.data() + row_ptr_[v],
+                                          col_.data() + row_ptr_[v + 1]);
+  }
+  std::uint64_t degree(std::uint64_t v) const { return row_ptr_[v + 1] - row_ptr_[v]; }
+
+ private:
+  std::vector<std::uint64_t> row_ptr_;
+  std::vector<std::uint64_t> col_;
+};
+
+inline constexpr std::uint64_t kNoParent = ~0ULL;
+
+/// Serial reference BFS; returns the parent array (parent[root] == root,
+/// unreached vertices hold kNoParent).
+std::vector<std::uint64_t> bfs_serial(const Csr& g, std::uint64_t root);
+
+/// Number of edges traversed by a BFS (for TEPS): sum of degrees of
+/// reached vertices / 2 (Graph500 convention counts each undirected edge
+/// once).
+double traversed_edges(const Csr& g, std::span<const std::uint64_t> parent);
+
+/// Graph500-style validation of a parent tree:
+///  1. parent[root] == root;
+///  2. every tree edge (v, parent[v]) exists in the graph;
+///  3. levels are consistent: level[v] == level[parent[v]] + 1;
+///  4. reachability matches the reference search.
+/// Returns an empty string on success, else a description of the failure.
+std::string validate_bfs(const Csr& g, std::uint64_t root,
+                         std::span<const std::uint64_t> parent);
+
+}  // namespace dvx::kernels

@@ -1,0 +1,129 @@
+#include "kernels/fft.hpp"
+
+#include <bit>
+#include <cmath>
+#include <numbers>
+#include <stdexcept>
+
+namespace dvx::kernels {
+
+void fft(std::span<Complex> data, bool inverse) {
+  const std::size_t n = data.size();
+  if (n == 0) return;
+  if (!std::has_single_bit(n)) {
+    throw std::invalid_argument("fft: size must be a power of two");
+  }
+  // Bit-reversal permutation.
+  for (std::size_t i = 1, j = 0; i < n; ++i) {
+    std::size_t bit = n >> 1;
+    for (; (j & bit) != 0; bit >>= 1) j ^= bit;
+    j ^= bit;
+    if (i < j) std::swap(data[i], data[j]);
+  }
+  // Butterflies.
+  const double sign = inverse ? 1.0 : -1.0;
+  for (std::size_t len = 2; len <= n; len <<= 1) {
+    const double ang = sign * 2.0 * std::numbers::pi / static_cast<double>(len);
+    const Complex wlen(std::cos(ang), std::sin(ang));
+    for (std::size_t i = 0; i < n; i += len) {
+      Complex w(1.0, 0.0);
+      for (std::size_t k = 0; k < len / 2; ++k) {
+        const Complex u = data[i + k];
+        const Complex v = data[i + k + len / 2] * w;
+        data[i + k] = u + v;
+        data[i + k + len / 2] = u - v;
+        w *= wlen;
+      }
+    }
+  }
+  if (inverse) {
+    const double inv = 1.0 / static_cast<double>(n);
+    for (auto& x : data) x *= inv;
+  }
+}
+
+std::vector<Complex> naive_dft(std::span<const Complex> data, bool inverse) {
+  const auto n = static_cast<std::int64_t>(data.size());
+  std::vector<Complex> out(data.size());
+  const double sign = inverse ? 1.0 : -1.0;
+  for (std::int64_t k = 0; k < n; ++k) {
+    Complex acc(0.0, 0.0);
+    for (std::int64_t j = 0; j < n; ++j) {
+      const double ang =
+          sign * 2.0 * std::numbers::pi * static_cast<double>(j * k) / static_cast<double>(n);
+      acc += data[static_cast<std::size_t>(j)] * Complex(std::cos(ang), std::sin(ang));
+    }
+    out[static_cast<std::size_t>(k)] = inverse ? acc / static_cast<double>(n) : acc;
+  }
+  return out;
+}
+
+double fft_flops(std::int64_t n) {
+  if (n <= 1) return 0.0;
+  const double dn = static_cast<double>(n);
+  return 5.0 * dn * std::log2(dn);
+}
+
+Complex twiddle(std::int64_t j, std::int64_t k, std::int64_t n, bool inverse) {
+  const double sign = inverse ? 1.0 : -1.0;
+  // Reduce j*k mod n first: j*k overflows double precision for large N.
+  const std::int64_t jk = static_cast<std::int64_t>(
+      (static_cast<unsigned __int128>(j) * static_cast<unsigned __int128>(k)) %
+      static_cast<unsigned __int128>(n));
+  const double ang = sign * 2.0 * std::numbers::pi * static_cast<double>(jk) /
+                     static_cast<double>(n);
+  return Complex(std::cos(ang), std::sin(ang));
+}
+
+std::vector<Complex> transpose(std::span<const Complex> m, std::int64_t rows,
+                               std::int64_t cols) {
+  if (static_cast<std::int64_t>(m.size()) != rows * cols) {
+    throw std::invalid_argument("transpose: size mismatch");
+  }
+  std::vector<Complex> out(m.size());
+  for (std::int64_t r = 0; r < rows; ++r) {
+    for (std::int64_t c = 0; c < cols; ++c) {
+      out[static_cast<std::size_t>(c * rows + r)] = m[static_cast<std::size_t>(r * cols + c)];
+    }
+  }
+  return out;
+}
+
+std::vector<Complex> six_step_fft(std::span<const Complex> data, std::int64_t n1,
+                                  std::int64_t n2, bool inverse) {
+  const std::int64_t n = n1 * n2;
+  if (static_cast<std::int64_t>(data.size()) != n) {
+    throw std::invalid_argument("six_step_fft: size mismatch");
+  }
+  // Input viewed as n1 x n2 row-major.
+  // Step 1: transpose to n2 x n1.
+  auto work = transpose(data, n1, n2);
+  // Step 2: n2 local FFTs of length n1 (the rows of the transposed matrix).
+  for (std::int64_t r = 0; r < n2; ++r) {
+    fft(std::span<Complex>(work.data() + r * n1, static_cast<std::size_t>(n1)), inverse);
+  }
+  // Step 3: twiddle element (r, c) by W_N^{r*c}.
+  for (std::int64_t r = 0; r < n2; ++r) {
+    for (std::int64_t c = 0; c < n1; ++c) {
+      work[static_cast<std::size_t>(r * n1 + c)] *= twiddle(r, c, n, inverse);
+    }
+  }
+  // Step 4: transpose back to n1 x n2.
+  work = transpose(work, n2, n1);
+  // Step 5: n1 local FFTs of length n2.
+  for (std::int64_t r = 0; r < n1; ++r) {
+    fft(std::span<Complex>(work.data() + r * n2, static_cast<std::size_t>(n2)), inverse);
+  }
+  // Step 6: final transpose for natural output order.
+  return transpose(work, n1, n2);
+}
+
+double max_abs_diff(std::span<const Complex> a, std::span<const Complex> b) {
+  double m = 0.0;
+  const std::size_t n = std::min(a.size(), b.size());
+  for (std::size_t i = 0; i < n; ++i) m = std::max(m, std::abs(a[i] - b[i]));
+  if (a.size() != b.size()) return 1e300;
+  return m;
+}
+
+}  // namespace dvx::kernels

@@ -1,0 +1,45 @@
+#include "kernels/gups_table.hpp"
+
+#include <bit>
+#include <stdexcept>
+
+#include "sim/rng.hpp"
+
+namespace dvx::kernels {
+
+std::uint64_t gups_start(std::uint64_t stream_id) {
+  // Any well-mixed nonzero value works as an LFSR start; derive one from the
+  // stream id the same way every rank would.
+  const std::uint64_t v = sim::mix64(stream_id + 0x123456789abcdefULL);
+  return v == 0 ? 1 : v;
+}
+
+GupsTable::GupsTable(std::uint64_t local_size) {
+  if (local_size == 0 || !std::has_single_bit(local_size)) {
+    throw std::invalid_argument("GupsTable: local size must be a power of two");
+  }
+  data_.assign(local_size, 0);
+}
+
+void GupsTable::init(std::uint64_t global_base) {
+  for (std::uint64_t i = 0; i < local_size(); ++i) data_[i] = global_base + i;
+}
+
+std::uint64_t GupsTable::errors(std::uint64_t global_base) const {
+  std::uint64_t n = 0;
+  for (std::uint64_t i = 0; i < local_size(); ++i) {
+    if (data_[i] != global_base + i) ++n;
+  }
+  return n;
+}
+
+GupsTarget gups_target(std::uint64_t value, int ranks, std::uint64_t local_size) {
+  const std::uint64_t total = static_cast<std::uint64_t>(ranks) * local_size;
+  // Power-of-two rank counts (the paper's 4..32) use the HPCC mask; other
+  // counts fall back to a modulo reduction.
+  const std::uint64_t global =
+      std::has_single_bit(total) ? (value & (total - 1)) : (value % total);
+  return GupsTarget{static_cast<int>(global / local_size), global % local_size};
+}
+
+}  // namespace dvx::kernels

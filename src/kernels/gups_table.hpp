@@ -1,0 +1,58 @@
+#pragma once
+// GUPS (RandomAccess) building blocks (paper §VI).
+//
+// The HPCC update stream is the 64-bit LFSR a_{i+1} = (a_i << 1) ^ (a_i < 0
+// ? POLY : 0); each value is both the random table index (low bits) and the
+// XOR operand. XOR updates are an involution, which gives the kernel its
+// self-verification: applying the same update stream twice restores the
+// table — the property tests lean on that.
+
+#include <cstdint>
+#include <vector>
+
+namespace dvx::kernels {
+
+/// HPCC RandomAccess polynomial.
+inline constexpr std::uint64_t kGupsPoly = 0x0000000000000007ULL;
+
+/// One LFSR step of the HPCC update sequence.
+constexpr std::uint64_t gups_next(std::uint64_t a) {
+  return (a << 1) ^ (static_cast<std::int64_t>(a) < 0 ? kGupsPoly : 0);
+}
+
+/// A deterministic, well-mixed starting value for stream `stream_id`.
+std::uint64_t gups_start(std::uint64_t stream_id);
+
+/// The distributed update table: each rank owns `local_size` words;
+/// global index = owner * local_size + offset.
+class GupsTable {
+ public:
+  explicit GupsTable(std::uint64_t local_size);
+
+  std::uint64_t local_size() const noexcept {
+    return static_cast<std::uint64_t>(data_.size());
+  }
+  /// Initial value convention: table[i] = global index i.
+  void init(std::uint64_t global_base);
+  void apply(std::uint64_t offset, std::uint64_t xor_value) {
+    data_[offset] ^= xor_value;
+  }
+  std::uint64_t at(std::uint64_t offset) const { return data_[offset]; }
+
+  /// Number of local words that differ from the initial convention —
+  /// 0 after a complete double-application of any update stream.
+  std::uint64_t errors(std::uint64_t global_base) const;
+
+ private:
+  std::vector<std::uint64_t> data_;
+};
+
+/// Splits a random value into (owner rank, local offset) for a table of
+/// `ranks * local_size` words. local_size must be a power of two.
+struct GupsTarget {
+  int owner;
+  std::uint64_t offset;
+};
+GupsTarget gups_target(std::uint64_t value, int ranks, std::uint64_t local_size);
+
+}  // namespace dvx::kernels

@@ -1,0 +1,49 @@
+#pragma once
+// Graph500-style Kronecker (R-MAT) graph generator (paper §VI, BFS).
+//
+// Edges are generated with the standard initiator probabilities
+// (A, B, C, D) = (0.57, 0.19, 0.19, 0.05); vertex labels are scrambled with
+// a hash-based permutation so vertex degree does not correlate with vertex
+// id. Generation is deterministic in (seed, edge index), so every rank can
+// generate its slice of the edge list independently — exactly how the
+// reference implementation parallelizes construction.
+
+#include <cstdint>
+#include <vector>
+
+namespace dvx::kernels {
+
+struct Edge {
+  std::uint64_t u;
+  std::uint64_t v;
+};
+
+struct KroneckerParams {
+  int scale = 16;           ///< 2^scale vertices
+  int edge_factor = 16;     ///< edges = edge_factor * vertices
+  std::uint64_t seed = 2;   ///< Graph500 default seeds are 2 and 3
+  double a = 0.57, b = 0.19, c = 0.19;  ///< d = 1 - a - b - c
+};
+
+class KroneckerGenerator {
+ public:
+  explicit KroneckerGenerator(KroneckerParams params);
+
+  std::uint64_t vertices() const noexcept { return 1ULL << params_.scale; }
+  std::uint64_t edges() const noexcept {
+    return static_cast<std::uint64_t>(params_.edge_factor) * vertices();
+  }
+  const KroneckerParams& params() const noexcept { return params_; }
+
+  /// Generates edge `index` (deterministic, any order, any rank).
+  Edge edge(std::uint64_t index) const;
+
+  /// Generates the half-open slice [first, last) of the edge list.
+  std::vector<Edge> slice(std::uint64_t first, std::uint64_t last) const;
+
+ private:
+  std::uint64_t scramble(std::uint64_t v) const;
+  KroneckerParams params_;
+};
+
+}  // namespace dvx::kernels

@@ -1,0 +1,134 @@
+#include "kernels/stencil.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace dvx::kernels {
+
+std::array<int, 3> process_grid_3d(int ranks) {
+  if (ranks <= 0) throw std::invalid_argument("process_grid_3d: ranks must be positive");
+  std::array<int, 3> best{ranks, 1, 1};
+  double best_score = 1e300;
+  for (int px = 1; px <= ranks; ++px) {
+    if (ranks % px != 0) continue;
+    const int rest = ranks / px;
+    for (int py = 1; py <= rest; ++py) {
+      if (rest % py != 0) continue;
+      const int pz = rest / py;
+      // Prefer near-cubic: minimize surface of the unit decomposition.
+      const double score = 1.0 / px + 1.0 / py + 1.0 / pz;
+      if (score < best_score) {
+        best_score = score;
+        best = {px, py, pz};
+      }
+    }
+  }
+  return best;
+}
+
+std::pair<std::int64_t, std::int64_t> block_range(std::int64_t n, int parts, int index) {
+  if (parts <= 0 || index < 0 || index >= parts) {
+    throw std::invalid_argument("block_range: bad partition");
+  }
+  const std::int64_t base = n / parts;
+  const std::int64_t extra = n % parts;
+  const std::int64_t begin = index * base + std::min<std::int64_t>(index, extra);
+  const std::int64_t len = base + (index < extra ? 1 : 0);
+  return {begin, begin + len};
+}
+
+HaloGrid3::HaloGrid3(int nx, int ny, int nz) : nx_(nx), ny_(ny), nz_(nz) {
+  if (nx < 1 || ny < 1 || nz < 1) throw std::invalid_argument("HaloGrid3: bad extents");
+  data_.assign(static_cast<std::size_t>(nx + 2) * (ny + 2) * (nz + 2), 0.0);
+}
+
+std::int64_t HaloGrid3::face_cells(int face) const {
+  switch (face) {
+    case 0:
+    case 1: return static_cast<std::int64_t>(ny_) * nz_;
+    case 2:
+    case 3: return static_cast<std::int64_t>(nx_) * nz_;
+    case 4:
+    case 5: return static_cast<std::int64_t>(nx_) * ny_;
+    default: throw std::invalid_argument("HaloGrid3: bad face");
+  }
+}
+
+namespace {
+struct FaceIter {
+  int i0, i1, j0, j1, k0, k1;
+};
+}  // namespace
+
+std::vector<double> HaloGrid3::pack_face(int face) const {
+  std::vector<double> out;
+  out.reserve(static_cast<std::size_t>(face_cells(face)));
+  const FaceIter f = [&]() -> FaceIter {
+    switch (face) {
+      case 0: return {1, 1, 1, ny_, 1, nz_};
+      case 1: return {nx_, nx_, 1, ny_, 1, nz_};
+      case 2: return {1, nx_, 1, 1, 1, nz_};
+      case 3: return {1, nx_, ny_, ny_, 1, nz_};
+      case 4: return {1, nx_, 1, ny_, 1, 1};
+      case 5: return {1, nx_, 1, ny_, nz_, nz_};
+      default: throw std::invalid_argument("pack_face: bad face");
+    }
+  }();
+  for (int k = f.k0; k <= f.k1; ++k) {
+    for (int j = f.j0; j <= f.j1; ++j) {
+      for (int i = f.i0; i <= f.i1; ++i) out.push_back(at(i, j, k));
+    }
+  }
+  return out;
+}
+
+void HaloGrid3::unpack_halo(int face, std::span<const double> values) {
+  if (static_cast<std::int64_t>(values.size()) != face_cells(face)) {
+    throw std::invalid_argument("unpack_halo: size mismatch");
+  }
+  const FaceIter f = [&]() -> FaceIter {
+    switch (face) {
+      case 0: return {0, 0, 1, ny_, 1, nz_};
+      case 1: return {nx_ + 1, nx_ + 1, 1, ny_, 1, nz_};
+      case 2: return {1, nx_, 0, 0, 1, nz_};
+      case 3: return {1, nx_, ny_ + 1, ny_ + 1, 1, nz_};
+      case 4: return {1, nx_, 1, ny_, 0, 0};
+      case 5: return {1, nx_, 1, ny_, nz_ + 1, nz_ + 1};
+      default: throw std::invalid_argument("unpack_halo: bad face");
+    }
+  }();
+  std::size_t idx = 0;
+  for (int k = f.k0; k <= f.k1; ++k) {
+    for (int j = f.j0; j <= f.j1; ++j) {
+      for (int i = f.i0; i <= f.i1; ++i) at(i, j, k) = values[idx++];
+    }
+  }
+}
+
+void HaloGrid3::reflect_boundary(int face) {
+  unpack_halo(face, pack_face(face));
+}
+
+double heat_step(const HaloGrid3& in, HaloGrid3& out, double alpha) {
+  if (in.nx() != out.nx() || in.ny() != out.ny() || in.nz() != out.nz()) {
+    throw std::invalid_argument("heat_step: grid shape mismatch");
+  }
+  double max_delta = 0.0;
+  for (int k = 1; k <= in.nz(); ++k) {
+    for (int j = 1; j <= in.ny(); ++j) {
+      for (int i = 1; i <= in.nx(); ++i) {
+        const double c = in.at(i, j, k);
+        const double lap = in.at(i - 1, j, k) + in.at(i + 1, j, k) + in.at(i, j - 1, k) +
+                           in.at(i, j + 1, k) + in.at(i, j, k - 1) + in.at(i, j, k + 1) -
+                           6.0 * c;
+        const double v = c + alpha * lap;
+        out.at(i, j, k) = v;
+        max_delta = std::max(max_delta, std::abs(v - c));
+      }
+    }
+  }
+  return max_delta;
+}
+
+}  // namespace dvx::kernels

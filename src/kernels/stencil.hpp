@@ -1,0 +1,62 @@
+#pragma once
+// Structured-grid helpers shared by the heat-equation and SNAP applications:
+// 3-D block decomposition, local grids with one-cell halos, face
+// packing/unpacking, and the 7-point Jacobi heat step.
+
+#include <array>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace dvx::kernels {
+
+/// Factors `ranks` into a near-cubic (px, py, pz) process grid.
+std::array<int, 3> process_grid_3d(int ranks);
+
+/// Splits `n` cells over `parts`; returns the [begin, end) of `index`.
+std::pair<std::int64_t, std::int64_t> block_range(std::int64_t n, int parts, int index);
+
+/// Local grid with a one-cell halo on each face. Interior cells are indexed
+/// 1..n; halo layers sit at 0 and n+1.
+class HaloGrid3 {
+ public:
+  HaloGrid3(int nx, int ny, int nz);
+
+  int nx() const noexcept { return nx_; }
+  int ny() const noexcept { return ny_; }
+  int nz() const noexcept { return nz_; }
+  std::int64_t interior_cells() const noexcept {
+    return static_cast<std::int64_t>(nx_) * ny_ * nz_;
+  }
+
+  double& at(int i, int j, int k) { return data_[index(i, j, k)]; }
+  double at(int i, int j, int k) const { return data_[index(i, j, k)]; }
+
+  /// Faces: 0/1 = -x/+x, 2/3 = -y/+y, 4/5 = -z/+z.
+  std::int64_t face_cells(int face) const;
+  std::vector<double> pack_face(int face) const;      ///< interior boundary layer
+  void unpack_halo(int face, std::span<const double> values);  ///< into halo layer
+
+  /// Mirrors the interior boundary into the halo (insulated boundary).
+  void reflect_boundary(int face);
+
+  std::span<double> raw() { return data_; }
+  std::span<const double> raw() const { return data_; }
+
+ private:
+  std::size_t index(int i, int j, int k) const {
+    return (static_cast<std::size_t>(k) * (ny_ + 2) + j) * (nx_ + 2) + i;
+  }
+  int nx_, ny_, nz_;
+  std::vector<double> data_;
+};
+
+/// One explicit 7-point heat step: out = in + alpha * laplacian(in).
+/// Returns the max |out-in| (convergence measure). alpha must satisfy the
+/// usual stability bound alpha <= 1/6 for the unit-spacing Laplacian.
+double heat_step(const HaloGrid3& in, HaloGrid3& out, double alpha);
+
+/// FLOPs charged per interior cell of a heat step.
+inline constexpr double kHeatFlopsPerCell = 9.0;
+
+}  // namespace dvx::kernels

@@ -1,0 +1,176 @@
+// MiniMPI collectives, built from point-to-point with the standard
+// algorithms real MPI implementations use at these scales: dissemination
+// barrier, binomial broadcast/reduce, ring allgather, pairwise alltoall.
+
+#include <bit>
+
+#include "mpi/comm.hpp"
+
+namespace dvx::mpi {
+
+namespace {
+// Tag space reserved for collective internals; applications should use
+// small non-negative tags.
+constexpr int kBarrierTag = 1 << 20;
+constexpr int kBcastTag = 2 << 20;
+constexpr int kReduceTag = 3 << 20;
+constexpr int kGatherTag = 4 << 20;
+constexpr int kAllgatherTag = 5 << 20;
+constexpr int kAlltoallTag = 6 << 20;
+}  // namespace
+
+sim::Coro<void> Comm::barrier() {
+  const sim::Time t0 = engine().now();
+  const int n = size();
+  // Dissemination barrier: ceil(log2 n) rounds, works for any n.
+  for (int k = 1; k < n; k <<= 1) {
+    const int to = (rank_ + k) % n;
+    const int from = (rank_ - k % n + n) % n;
+    co_await sendrecv(to, kBarrierTag + k, {}, from, kBarrierTag + k);
+  }
+  if (auto* tr = world_->tracer(); tr != nullptr) {
+    tr->record_state(rank_, sim::NodeState::kBarrier, t0, engine().now());
+  }
+}
+
+sim::Coro<std::vector<std::uint64_t>> Comm::bcast(std::vector<std::uint64_t> data,
+                                                  int root) {
+  const int n = size();
+  const int vrank = (rank_ - root + n) % n;  // binomial tree rooted at `root`
+  // Standard binomial broadcast: receive across the lowest set bit, then
+  // fan out across every lower bit.
+  int mask = 1;
+  while (mask < n) {
+    if ((vrank & mask) != 0) {
+      const int parent = ((vrank - mask) + root) % n;
+      auto msg = co_await recv(parent, kBcastTag);
+      data = std::move(msg.data);
+      break;
+    }
+    mask <<= 1;
+  }
+  mask >>= 1;
+  while (mask > 0) {
+    if (vrank + mask < n) {
+      const int child = ((vrank + mask) + root) % n;
+      co_await send(child, kBcastTag, data);
+    }
+    mask >>= 1;
+  }
+  co_return data;
+}
+
+sim::Coro<std::vector<std::uint64_t>> Comm::allreduce(std::vector<std::uint64_t> data,
+                                                      const ReduceFn& op) {
+  const int n = size();
+  // Binomial reduce to rank 0, then broadcast (robust for any n and size).
+  for (int bit = 1; bit < n; bit <<= 1) {
+    if ((rank_ & bit) != 0) {
+      co_await send(rank_ - bit, kReduceTag + bit, std::move(data));
+      data.clear();
+      break;
+    }
+    if (rank_ + bit < n) {
+      auto msg = co_await recv(rank_ + bit, kReduceTag + bit);
+      for (std::size_t i = 0; i < data.size() && i < msg.data.size(); ++i) {
+        data[i] = op(data[i], msg.data[i]);
+      }
+    }
+  }
+  co_return co_await bcast(std::move(data), 0);
+}
+
+// Note: single-element vectors and the ReduceFn are hoisted into named
+// locals; GCC 12 miscompiles braced-init temporaries inside co_await
+// expressions ("array used as initializer").
+
+sim::Coro<std::uint64_t> Comm::allreduce_sum(std::uint64_t v) {
+  std::vector<std::uint64_t> in(1, v);
+  const ReduceFn op = [](std::uint64_t a, std::uint64_t b) { return a + b; };
+  auto out = co_await allreduce(std::move(in), op);
+  co_return out.at(0);
+}
+
+sim::Coro<std::uint64_t> Comm::allreduce_max(std::uint64_t v) {
+  std::vector<std::uint64_t> in(1, v);
+  const ReduceFn op = [](std::uint64_t a, std::uint64_t b) { return a > b ? a : b; };
+  auto out = co_await allreduce(std::move(in), op);
+  co_return out.at(0);
+}
+
+sim::Coro<double> Comm::allreduce_sum_double(double v) {
+  std::vector<std::uint64_t> in(1, std::bit_cast<std::uint64_t>(v));
+  const ReduceFn op = [](std::uint64_t a, std::uint64_t b) {
+    return std::bit_cast<std::uint64_t>(std::bit_cast<double>(a) +
+                                        std::bit_cast<double>(b));
+  };
+  auto out = co_await allreduce(std::move(in), op);
+  co_return std::bit_cast<double>(out.at(0));
+}
+
+sim::Coro<double> Comm::allreduce_max_double(double v) {
+  std::vector<std::uint64_t> in(1, std::bit_cast<std::uint64_t>(v));
+  const ReduceFn op = [](std::uint64_t a, std::uint64_t b) {
+    const double da = std::bit_cast<double>(a);
+    const double db = std::bit_cast<double>(b);
+    return std::bit_cast<std::uint64_t>(da > db ? da : db);
+  };
+  auto out = co_await allreduce(std::move(in), op);
+  co_return std::bit_cast<double>(out.at(0));
+}
+
+sim::Coro<std::vector<std::vector<std::uint64_t>>> Comm::gather(
+    std::vector<std::uint64_t> data, int root) {
+  const int n = size();
+  std::vector<std::vector<std::uint64_t>> out;
+  if (rank_ == root) {
+    out.resize(static_cast<std::size_t>(n));
+    out[static_cast<std::size_t>(rank_)] = std::move(data);
+    for (int i = 0; i < n - 1; ++i) {
+      auto msg = co_await recv(kAnySource, kGatherTag);
+      out[static_cast<std::size_t>(msg.src)] = std::move(msg.data);
+    }
+  } else {
+    co_await send(root, kGatherTag, std::move(data));
+  }
+  co_return out;
+}
+
+sim::Coro<std::vector<std::vector<std::uint64_t>>> Comm::allgather(
+    std::vector<std::uint64_t> data) {
+  const int n = size();
+  std::vector<std::vector<std::uint64_t>> out(static_cast<std::size_t>(n));
+  out[static_cast<std::size_t>(rank_)] = std::move(data);
+  // Ring: in step s we forward the block that originated s hops upstream.
+  const int right = (rank_ + 1) % n;
+  const int left = (rank_ - 1 + n) % n;
+  for (int s = 0; s < n - 1; ++s) {
+    const int send_origin = (rank_ - s + n) % n;
+    const int recv_origin = (rank_ - s - 1 + n) % n;
+    auto msg = co_await sendrecv(right, kAllgatherTag + s,
+                                 out[static_cast<std::size_t>(send_origin)], left,
+                                 kAllgatherTag + s);
+    out[static_cast<std::size_t>(recv_origin)] = std::move(msg.data);
+  }
+  co_return out;
+}
+
+sim::Coro<std::vector<std::vector<std::uint64_t>>> Comm::alltoall(
+    std::vector<std::vector<std::uint64_t>> send_blocks) {
+  const int n = size();
+  std::vector<std::vector<std::uint64_t>> out(static_cast<std::size_t>(n));
+  out[static_cast<std::size_t>(rank_)] =
+      std::move(send_blocks[static_cast<std::size_t>(rank_)]);
+  // Pairwise exchange: step s swaps with rank+s / rank-s.
+  for (int s = 1; s < n; ++s) {
+    const int to = (rank_ + s) % n;
+    const int from = (rank_ - s + n) % n;
+    auto msg = co_await sendrecv(to, kAlltoallTag + s,
+                                 std::move(send_blocks[static_cast<std::size_t>(to)]),
+                                 from, kAlltoallTag + s);
+    out[static_cast<std::size_t>(from)] = std::move(msg.data);
+  }
+  co_return out;
+}
+
+}  // namespace dvx::mpi

@@ -1,0 +1,27 @@
+#include "mpi/comm.hpp"
+
+#include <stdexcept>
+
+namespace dvx::mpi {
+
+MpiWorld::MpiWorld(sim::Engine& engine, ib::Fabric& fabric, int ranks, MpiParams params,
+                   sim::Tracer* tracer)
+    : engine_(engine), fabric_(fabric), ranks_(ranks), params_(params), tracer_(tracer) {
+  if (ranks <= 0 || ranks > fabric.nodes()) {
+    throw std::invalid_argument("MpiWorld: rank count must fit the fabric");
+  }
+  endpoints_.resize(static_cast<std::size_t>(ranks));
+}
+
+int Comm::size() const noexcept { return world_->size(); }
+
+sim::Engine& Comm::engine() const noexcept { return world_->engine(); }
+
+void MpiWorld::complete(const Request& op, sim::Time at) {
+  if (at < engine_.now()) at = engine_.now();
+  op->done = true;
+  op->done_at = at;
+  op->cond.notify_all(at);
+}
+
+}  // namespace dvx::mpi

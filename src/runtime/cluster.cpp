@@ -1,0 +1,64 @@
+#include "runtime/cluster.hpp"
+
+#include <deque>
+#include <stdexcept>
+
+namespace dvx::runtime {
+
+Cluster::Cluster(ClusterConfig config) : config_(config), tracer_(config.trace) {
+  if (config_.nodes <= 0) throw std::invalid_argument("Cluster: nodes must be positive");
+}
+
+namespace {
+
+RunResult collect(sim::Engine& engine, std::deque<NodeCtx>& ctxs) {
+  const sim::Time finished = engine.run();
+  if (!engine.all_done()) {
+    throw std::logic_error("Cluster: a rank never finished (deadlock?)");
+  }
+  sim::Time b = ctxs.front().roi_begin_time();
+  sim::Time e = ctxs.front().roi_end_time();
+  for (const auto& c : ctxs) {
+    b = std::min(b, c.roi_begin_time());
+    e = std::max(e, c.roi_end_time());
+  }
+  return RunResult{finished, e > b ? e - b : 0};
+}
+
+}  // namespace
+
+RunResult Cluster::run_dv(const DvProgram& program) {
+  sim::Engine engine;
+  vic::DvFabric fabric(engine, config_.nodes, config_.dv);
+  CostModel cost(config_.cost);
+  std::deque<dvapi::DvContext> dv_ctxs;
+  std::deque<NodeCtx> node_ctxs;
+  for (int r = 0; r < config_.nodes; ++r) {
+    dv_ctxs.emplace_back(engine, fabric, r, config_.trace ? &tracer_ : nullptr,
+                         config_.dvapi);
+    node_ctxs.emplace_back(engine, cost, tracer_, r);
+  }
+  for (int r = 0; r < config_.nodes; ++r) {
+    engine.spawn(program(dv_ctxs[static_cast<std::size_t>(r)],
+                         node_ctxs[static_cast<std::size_t>(r)]));
+  }
+  return collect(engine, node_ctxs);
+}
+
+RunResult Cluster::run_mpi(const MpiProgram& program) {
+  sim::Engine engine;
+  ib::Fabric fabric(config_.nodes, config_.ib);
+  mpi::MpiWorld world(engine, fabric, config_.nodes, config_.mpi,
+                      config_.trace ? &tracer_ : nullptr);
+  CostModel cost(config_.cost);
+  std::deque<NodeCtx> node_ctxs;
+  for (int r = 0; r < config_.nodes; ++r) {
+    node_ctxs.emplace_back(engine, cost, tracer_, r);
+  }
+  for (int r = 0; r < config_.nodes; ++r) {
+    engine.spawn(program(world.comm(r), node_ctxs[static_cast<std::size_t>(r)]));
+  }
+  return collect(engine, node_ctxs);
+}
+
+}  // namespace dvx::runtime

@@ -1,0 +1,60 @@
+#pragma once
+// The simulated test cluster (paper §IV): N nodes, each carrying BOTH a
+// Data Vortex VIC and an FDR InfiniBand HCA, exactly like the evaluated
+// 32-node system. A Cluster builds a fresh deterministic world per run and
+// executes one coroutine per rank against either network.
+
+#include <functional>
+#include <memory>
+
+#include "dvapi/context.hpp"
+#include "ib/topology.hpp"
+#include "mpi/comm.hpp"
+#include "runtime/cost_model.hpp"
+#include "runtime/node.hpp"
+#include "sim/engine.hpp"
+#include "sim/trace.hpp"
+#include "vic/vic.hpp"
+
+namespace dvx::runtime {
+
+struct ClusterConfig {
+  int nodes = 32;
+  vic::DvFabricParams dv{};
+  dvapi::DvApiParams dvapi{};
+  ib::IbParams ib{};
+  mpi::MpiParams mpi{};
+  CostParams cost{};
+  bool trace = false;  ///< record Extrae-style state/message traces
+};
+
+struct RunResult {
+  sim::Time finished;       ///< virtual time when the last rank finished
+  sim::Duration roi;        ///< max(roi_end) - min(roi_begin) over ranks
+  double roi_seconds() const { return sim::to_seconds(roi); }
+};
+
+class Cluster {
+ public:
+  explicit Cluster(ClusterConfig config = {});
+
+  const ClusterConfig& config() const noexcept { return config_; }
+  int nodes() const noexcept { return config_.nodes; }
+  sim::Tracer& tracer() noexcept { return tracer_; }
+
+  using DvProgram = std::function<sim::Coro<void>(dvapi::DvContext&, NodeCtx&)>;
+  using MpiProgram = std::function<sim::Coro<void>(mpi::Comm, NodeCtx&)>;
+
+  /// Runs one Data Vortex program per rank on a fresh fabric.
+  /// Throws if any rank fails; reports deadlock via std::logic_error.
+  RunResult run_dv(const DvProgram& program);
+
+  /// Runs one MPI-over-InfiniBand program per rank on a fresh fabric.
+  RunResult run_mpi(const MpiProgram& program);
+
+ private:
+  ClusterConfig config_;
+  sim::Tracer tracer_;
+};
+
+}  // namespace dvx::runtime

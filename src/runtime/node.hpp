@@ -1,0 +1,56 @@
+#pragma once
+// Per-rank execution context: compute-time charging, tracing, and
+// region-of-interest timestamps.
+
+#include "runtime/cost_model.hpp"
+#include "sim/engine.hpp"
+#include "sim/task.hpp"
+#include "sim/trace.hpp"
+
+namespace dvx::runtime {
+
+class NodeCtx {
+ public:
+  NodeCtx(sim::Engine& engine, const CostModel& cost, sim::Tracer& tracer, int rank)
+      : engine_(engine), cost_(cost), tracer_(tracer), rank_(rank) {}
+
+  int rank() const noexcept { return rank_; }
+  sim::Engine& engine() noexcept { return engine_; }
+  const CostModel& cost() const noexcept { return cost_; }
+  sim::Tracer& tracer() noexcept { return tracer_; }
+  sim::Time now() const noexcept { return engine_.now(); }
+
+  /// Charges virtual compute time for `n` floating-point operations.
+  sim::Coro<void> compute_flops(double n) { return charge(cost_.flops(n)); }
+
+  /// Charges virtual compute time for streaming `bytes` through memory.
+  sim::Coro<void> compute_stream(double bytes) {
+    return charge(cost_.stream_bytes(bytes));
+  }
+
+  /// Charges virtual compute time for `n` irregular (random) accesses.
+  sim::Coro<void> compute_random(double n) { return charge(cost_.random_accesses(n)); }
+
+  /// Charges an explicit span of compute time.
+  sim::Coro<void> charge(sim::Duration d) {
+    const sim::Time t0 = engine_.now();
+    co_await engine_.delay(d);
+    tracer_.record_state(rank_, sim::NodeState::kCompute, t0, engine_.now());
+  }
+
+  /// Region-of-interest markers (what benches time, excluding setup).
+  void roi_begin() noexcept { roi_begin_ = engine_.now(); }
+  void roi_end() noexcept { roi_end_ = engine_.now(); }
+  sim::Time roi_begin_time() const noexcept { return roi_begin_; }
+  sim::Time roi_end_time() const noexcept { return roi_end_; }
+
+ private:
+  sim::Engine& engine_;
+  const CostModel& cost_;
+  sim::Tracer& tracer_;
+  int rank_;
+  sim::Time roi_begin_ = 0;
+  sim::Time roi_end_ = 0;
+};
+
+}  // namespace dvx::runtime

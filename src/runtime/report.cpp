@@ -1,0 +1,74 @@
+#include "runtime/report.hpp"
+
+#include <algorithm>
+#include <iomanip>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+
+namespace dvx::runtime {
+
+Table::Table(std::string title, std::vector<std::string> columns)
+    : title_(std::move(title)), columns_(std::move(columns)) {}
+
+Table& Table::row(std::vector<std::string> cells) {
+  if (cells.size() != columns_.size()) {
+    throw std::invalid_argument("Table::row: arity mismatch");
+  }
+  rows_.push_back(std::move(cells));
+  return *this;
+}
+
+void Table::print(std::ostream& os) const {
+  std::vector<std::size_t> width(columns_.size());
+  for (std::size_t c = 0; c < columns_.size(); ++c) width[c] = columns_[c].size();
+  for (const auto& r : rows_) {
+    for (std::size_t c = 0; c < r.size(); ++c) width[c] = std::max(width[c], r[c].size());
+  }
+  os << "\n== " << title_ << " ==\n";
+  auto line = [&](const std::vector<std::string>& cells) {
+    for (std::size_t c = 0; c < cells.size(); ++c) {
+      os << "  " << std::setw(static_cast<int>(width[c])) << cells[c];
+    }
+    os << "\n";
+  };
+  line(columns_);
+  std::vector<std::string> rule;
+  rule.reserve(columns_.size());
+  for (auto w : width) rule.push_back(std::string(w, '-'));
+  line(rule);
+  for (const auto& r : rows_) line(r);
+}
+
+void Table::print_csv(std::ostream& os) const {
+  auto emit = [&](const std::vector<std::string>& cells) {
+    for (std::size_t c = 0; c < cells.size(); ++c) {
+      if (c) os << ',';
+      os << cells[c];
+    }
+    os << '\n';
+  };
+  emit(columns_);
+  for (const auto& r : rows_) emit(r);
+}
+
+std::string fmt(double v, int prec) {
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(prec) << v;
+  return os.str();
+}
+
+std::string fmt_gbs(double bytes_per_sec) { return fmt(bytes_per_sec / 1e9, 3) + " GB/s"; }
+
+std::string fmt_us(double us) { return fmt(us, 2) + " us"; }
+
+void figure_banner(std::ostream& os, const std::string& figure,
+                   const std::string& paper_summary) {
+  os << "\n";
+  os << "############################################################\n";
+  os << "# " << figure << "\n";
+  os << "# paper: " << paper_summary << "\n";
+  os << "############################################################\n";
+}
+
+}  // namespace dvx::runtime

@@ -1,0 +1,39 @@
+#pragma once
+// Fixed-width table/figure reporters for the benchmark harness: every bench
+// binary prints the same rows/series the corresponding paper figure plots.
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace dvx::runtime {
+
+class Table {
+ public:
+  Table(std::string title, std::vector<std::string> columns);
+
+  Table& row(std::vector<std::string> cells);
+  void print(std::ostream& os) const;
+  /// Comma-separated dump (for plotting scripts).
+  void print_csv(std::ostream& os) const;
+
+  std::size_t rows() const noexcept { return rows_.size(); }
+
+ private:
+  std::string title_;
+  std::vector<std::string> columns_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Formats a double with `prec` digits after the point.
+std::string fmt(double v, int prec = 2);
+/// Formats bytes/s as "X.XX GB/s".
+std::string fmt_gbs(double bytes_per_sec);
+/// Formats a virtual duration as microseconds.
+std::string fmt_us(double us);
+
+/// Prints the standard figure banner used by all bench binaries.
+void figure_banner(std::ostream& os, const std::string& figure,
+                   const std::string& paper_summary);
+
+}  // namespace dvx::runtime

@@ -1,0 +1,59 @@
+#include "sim/engine.hpp"
+
+#include <stdexcept>
+
+namespace dvx::sim {
+
+Engine::~Engine() {
+  for (auto& r : roots_) {
+    if (r.handle) r.handle.destroy();
+  }
+}
+
+void Engine::spawn(Coro<void> coro, Time start) {
+  assert(coro.valid());
+  roots_.push_back(Root{coro.release(), false});
+  Root& root = roots_.back();
+  root.handle.promise().done_flag = &root.done;
+  schedule_handle(start < now_ ? now_ : start, root.handle);
+}
+
+void Engine::schedule_handle(Time t, std::coroutine_handle<> h) {
+  assert(t >= now_ && "cannot schedule into the past");
+  queue_.push(Event{t, next_seq_++, h, {}});
+}
+
+void Engine::schedule(Time t, std::function<void()> fn) {
+  assert(t >= now_ && "cannot schedule into the past");
+  queue_.push(Event{t, next_seq_++, {}, std::move(fn)});
+}
+
+Time Engine::run() {
+  while (!queue_.empty()) {
+    Event ev = queue_.top();
+    queue_.pop();
+    now_ = ev.t;
+    ++events_processed_;
+    if (ev.handle) {
+      ev.handle.resume();
+    } else {
+      ev.fn();
+    }
+  }
+  // Surface failures from simulated processes to the caller (tests rely on it).
+  for (auto& r : roots_) {
+    if (r.handle && r.handle.promise().exception) {
+      std::rethrow_exception(r.handle.promise().exception);
+    }
+  }
+  return now_;
+}
+
+bool Engine::all_done() const noexcept {
+  for (const auto& r : roots_) {
+    if (!r.done) return false;
+  }
+  return true;
+}
+
+}  // namespace dvx::sim

@@ -1,0 +1,105 @@
+#pragma once
+// Discrete-event simulation engine.
+//
+// Single-threaded, deterministic: events fire in (time, insertion-seq) order.
+// Top-level simulated processes are Coro<void> coroutines registered through
+// spawn(); they suspend on awaitables (delay, conditions, communication ops)
+// and the engine resumes them at the correct virtual time.
+
+#include <cassert>
+#include <coroutine>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "sim/task.hpp"
+#include "sim/time.hpp"
+
+namespace dvx::sim {
+
+class Engine {
+ public:
+  Engine() = default;
+  Engine(const Engine&) = delete;
+  Engine& operator=(const Engine&) = delete;
+  ~Engine();
+
+  /// Current virtual time.
+  Time now() const noexcept { return now_; }
+
+  /// Registers a top-level process; it starts at virtual time `start`.
+  void spawn(Coro<void> coro, Time start = -1);
+
+  /// Schedules a coroutine resume at absolute time t (must be >= now()).
+  void schedule_handle(Time t, std::coroutine_handle<> h);
+
+  /// Schedules a plain callback at absolute time t (must be >= now()).
+  void schedule(Time t, std::function<void()> fn);
+
+  /// Runs until the event queue drains. Returns the final virtual time.
+  /// Rethrows the first exception that escaped any spawned process.
+  Time run();
+
+  /// True when every spawned process has run to completion.
+  bool all_done() const noexcept;
+
+  /// Number of processes spawned so far.
+  std::size_t spawned() const noexcept { return roots_.size(); }
+
+  /// Total events dispatched (diagnostics / microbenchmarks).
+  std::uint64_t events_processed() const noexcept { return events_processed_; }
+
+  /// Awaitable: suspend the current coroutine for `d` of virtual time.
+  auto delay(Duration d) {
+    struct Awaiter {
+      Engine& engine;
+      Time wake;
+      bool await_ready() const noexcept { return false; }
+      void await_suspend(std::coroutine_handle<> h) { engine.schedule_handle(wake, h); }
+      void await_resume() const noexcept {}
+    };
+    if (d < 0) d = 0;
+    return Awaiter{*this, now_ + d};
+  }
+
+  /// Awaitable: reschedule the current coroutine at absolute time t
+  /// (clamped to now()). Used to resume a waiter at a computed arrival time.
+  auto resume_at(Time t) {
+    struct Awaiter {
+      Engine& engine;
+      Time wake;
+      bool await_ready() const noexcept { return false; }
+      void await_suspend(std::coroutine_handle<> h) { engine.schedule_handle(wake, h); }
+      void await_resume() const noexcept {}
+    };
+    if (t < now_) t = now_;
+    return Awaiter{*this, t};
+  }
+
+ private:
+  struct Event {
+    Time t;
+    std::uint64_t seq;
+    std::coroutine_handle<> handle{};   // either handle ...
+    std::function<void()> fn{};         // ... or callback is set
+  };
+  struct EventLater {
+    bool operator()(const Event& a, const Event& b) const noexcept {
+      return a.t != b.t ? a.t > b.t : a.seq > b.seq;
+    }
+  };
+  struct Root {
+    Coro<void>::Handle handle{};
+    bool done = false;
+  };
+
+  Time now_ = 0;
+  std::uint64_t next_seq_ = 0;
+  std::uint64_t events_processed_ = 0;
+  std::priority_queue<Event, std::vector<Event>, EventLater> queue_;
+  std::deque<Root> roots_;  // deque: &done must stay stable
+};
+
+}  // namespace dvx::sim

@@ -1,0 +1,76 @@
+#pragma once
+// Deterministic random number generation for workloads and traffic models.
+//
+// xoshiro256** (Blackman & Vigna) seeded via SplitMix64: fast, high quality,
+// and — unlike std::mt19937 across standard libraries — bit-for-bit stable, so
+// simulated runs are reproducible everywhere.
+
+#include <cstdint>
+
+namespace dvx::sim {
+
+/// SplitMix64 step; used both standalone (hashing) and to seed xoshiro.
+constexpr std::uint64_t splitmix64(std::uint64_t& state) {
+  std::uint64_t z = (state += 0x9e3779b97f4a7c15ULL);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+/// Stateless 64-bit mix of a value (for hashing vertex ids, addresses, ...).
+constexpr std::uint64_t mix64(std::uint64_t x) {
+  std::uint64_t s = x;
+  return splitmix64(s);
+}
+
+class Xoshiro256 {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit constexpr Xoshiro256(std::uint64_t seed = 0x853c49e6748fea9bULL) {
+    std::uint64_t sm = seed;
+    for (auto& w : s_) w = splitmix64(sm);
+  }
+
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() { return ~0ULL; }
+
+  constexpr std::uint64_t operator()() {
+    const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+    const std::uint64_t t = s_[1] << 17;
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = rotl(s_[3], 45);
+    return result;
+  }
+
+  /// Uniform integer in [0, bound) without modulo bias (Lemire reduction).
+  constexpr std::uint64_t below(std::uint64_t bound) {
+    if (bound == 0) return 0;
+    const unsigned __int128 m =
+        static_cast<unsigned __int128>((*this)()) * static_cast<unsigned __int128>(bound);
+    return static_cast<std::uint64_t>(m >> 64);
+  }
+
+  /// Uniform double in [0, 1).
+  constexpr double uniform() {
+    return static_cast<double>((*this)() >> 11) * 0x1.0p-53;
+  }
+
+  /// Uniform double in [lo, hi).
+  constexpr double uniform(double lo, double hi) { return lo + (hi - lo) * uniform(); }
+
+  /// Bernoulli draw with probability p.
+  constexpr bool chance(double p) { return uniform() < p; }
+
+ private:
+  static constexpr std::uint64_t rotl(std::uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+  std::uint64_t s_[4]{};
+};
+
+}  // namespace dvx::sim

@@ -1,0 +1,86 @@
+#include "sim/stats.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+#include <sstream>
+
+namespace dvx::sim {
+
+void RunningStats::add(double x) {
+  ++n_;
+  sum_ += x;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(n_);
+  m2_ += delta * (x - mean_);
+  min_ = std::min(min_, x);
+  max_ = std::max(max_, x);
+}
+
+void RunningStats::merge(const RunningStats& other) {
+  if (other.n_ == 0) return;
+  if (n_ == 0) {
+    *this = other;
+    return;
+  }
+  const double na = static_cast<double>(n_);
+  const double nb = static_cast<double>(other.n_);
+  const double delta = other.mean_ - mean_;
+  const double nt = na + nb;
+  mean_ += delta * nb / nt;
+  m2_ += other.m2_ + delta * delta * na * nb / nt;
+  n_ += other.n_;
+  sum_ += other.sum_;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+}
+
+double RunningStats::variance() const noexcept {
+  return n_ > 1 ? m2_ / static_cast<double>(n_ - 1) : 0.0;
+}
+
+double RunningStats::stddev() const noexcept { return std::sqrt(variance()); }
+
+void LogHistogram::add(std::uint64_t value) {
+  const unsigned b = value < 2 ? 0u : static_cast<unsigned>(std::bit_width(value) - 1);
+  if (buckets_.size() <= b) buckets_.resize(b + 1, 0);
+  ++buckets_[b];
+  ++total_;
+}
+
+double LogHistogram::quantile(double q) const {
+  if (total_ == 0) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  const double target = q * static_cast<double>(total_);
+  double seen = 0.0;
+  for (std::size_t b = 0; b < buckets_.size(); ++b) {
+    seen += static_cast<double>(buckets_[b]);
+    if (seen >= target) {
+      const double lo = b == 0 ? 0.0 : std::ldexp(1.0, static_cast<int>(b));
+      const double hi = std::ldexp(1.0, static_cast<int>(b + 1));
+      return (lo + hi) / 2.0;
+    }
+  }
+  return std::ldexp(1.0, static_cast<int>(buckets_.size()));
+}
+
+std::string LogHistogram::to_string() const {
+  std::ostringstream os;
+  for (std::size_t b = 0; b < buckets_.size(); ++b) {
+    if (buckets_[b] == 0) continue;
+    os << "[2^" << b << ",2^" << b + 1 << "): " << buckets_[b] << "\n";
+  }
+  return os.str();
+}
+
+double harmonic_mean(const std::vector<double>& xs) {
+  if (xs.empty()) return 0.0;
+  double denom = 0.0;
+  for (double x : xs) {
+    if (x <= 0.0) return 0.0;
+    denom += 1.0 / x;
+  }
+  return static_cast<double>(xs.size()) / denom;
+}
+
+}  // namespace dvx::sim

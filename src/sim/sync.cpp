@@ -1,0 +1,51 @@
+#include "sim/sync.hpp"
+
+namespace dvx::sim {
+
+void Condition::notify_all(Time at) {
+  if (at < engine_.now()) at = engine_.now();
+  std::vector<std::shared_ptr<Waiter>> woken;
+  woken.swap(waiters_);
+  for (auto& rec : woken) {
+    if (!rec->fired) {
+      rec->fired = true;
+      engine_.schedule_handle(at, rec->handle);
+    }
+  }
+}
+
+void Condition::notify_one(Time at) {
+  if (at < engine_.now()) at = engine_.now();
+  while (!waiters_.empty()) {
+    auto rec = waiters_.front();
+    waiters_.erase(waiters_.begin());
+    if (!rec->fired) {
+      rec->fired = true;
+      engine_.schedule_handle(at, rec->handle);
+      return;
+    }
+  }
+}
+
+Coro<void> Semaphore::acquire() {
+  while (count_ <= 0) co_await cond_.wait();
+  --count_;
+}
+
+void Semaphore::release(Time at, std::int64_t n) {
+  count_ += n;
+  cond_.notify_all(at);
+}
+
+Coro<void> PhaseBarrier::arrive_and_wait() {
+  const std::uint64_t my_phase = phase_;
+  if (++arrived_ == parties_) {
+    arrived_ = 0;
+    ++phase_;
+    cond_.notify_all(engine_.now());
+    co_return;
+  }
+  while (phase_ == my_phase) co_await cond_.wait();
+}
+
+}  // namespace dvx::sim

@@ -1,0 +1,123 @@
+#pragma once
+// Lazy coroutine task used for all simulated node programs and sub-routines.
+//
+// Coro<T> is a lazily-started coroutine: creating one does nothing until it is
+// either co_await-ed by another coroutine (symmetric transfer wires the caller
+// up as the continuation) or handed to Engine::spawn() as a top-level process.
+
+#include <coroutine>
+#include <exception>
+#include <optional>
+#include <utility>
+
+namespace dvx::sim {
+
+template <typename T>
+class Coro;
+
+namespace detail {
+
+struct PromiseBase {
+  std::coroutine_handle<> continuation{};  // resumed when this coroutine finishes
+  std::exception_ptr exception{};
+  bool* done_flag = nullptr;  // set by Engine::spawn for root tasks
+
+  struct FinalAwaiter {
+    bool await_ready() const noexcept { return false; }
+    template <typename Promise>
+    std::coroutine_handle<> await_suspend(std::coroutine_handle<Promise> h) noexcept {
+      auto& p = h.promise();
+      if (p.done_flag != nullptr) *p.done_flag = true;
+      if (p.continuation) return p.continuation;
+      return std::noop_coroutine();
+    }
+    void await_resume() const noexcept {}
+  };
+
+  std::suspend_always initial_suspend() noexcept { return {}; }
+  FinalAwaiter final_suspend() noexcept { return {}; }
+  void unhandled_exception() noexcept { exception = std::current_exception(); }
+};
+
+template <typename T>
+struct Promise : PromiseBase {
+  std::optional<T> value{};
+  Coro<T> get_return_object() noexcept;
+  void return_value(T v) { value.emplace(std::move(v)); }
+};
+
+template <>
+struct Promise<void> : PromiseBase {
+  Coro<void> get_return_object() noexcept;
+  void return_void() noexcept {}
+};
+
+}  // namespace detail
+
+/// A lazily-started coroutine returning T. Move-only; owns the frame.
+template <typename T>
+class [[nodiscard]] Coro {
+ public:
+  using promise_type = detail::Promise<T>;
+  using Handle = std::coroutine_handle<promise_type>;
+
+  Coro() = default;
+  explicit Coro(Handle h) : handle_(h) {}
+  Coro(Coro&& o) noexcept : handle_(std::exchange(o.handle_, {})) {}
+  Coro& operator=(Coro&& o) noexcept {
+    if (this != &o) {
+      destroy();
+      handle_ = std::exchange(o.handle_, {});
+    }
+    return *this;
+  }
+  Coro(const Coro&) = delete;
+  Coro& operator=(const Coro&) = delete;
+  ~Coro() { destroy(); }
+
+  bool valid() const noexcept { return static_cast<bool>(handle_); }
+  bool done() const noexcept { return handle_ && handle_.done(); }
+
+  /// Releases ownership of the raw handle (used by Engine::spawn).
+  Handle release() noexcept { return std::exchange(handle_, {}); }
+  Handle handle() const noexcept { return handle_; }
+
+  /// Awaiting a Coro starts it and resumes the awaiter when it completes.
+  auto operator co_await() && noexcept {
+    struct Awaiter {
+      Handle h;
+      bool await_ready() const noexcept { return !h || h.done(); }
+      std::coroutine_handle<> await_suspend(std::coroutine_handle<> caller) noexcept {
+        h.promise().continuation = caller;
+        return h;  // symmetric transfer: start the child now
+      }
+      T await_resume() {
+        auto& p = h.promise();
+        if (p.exception) std::rethrow_exception(p.exception);
+        if constexpr (!std::is_void_v<T>) return std::move(*p.value);
+      }
+    };
+    return Awaiter{handle_};
+  }
+
+ private:
+  void destroy() noexcept {
+    if (handle_) {
+      handle_.destroy();
+      handle_ = {};
+    }
+  }
+  Handle handle_{};
+};
+
+namespace detail {
+template <typename T>
+Coro<T> Promise<T>::get_return_object() noexcept {
+  return Coro<T>{std::coroutine_handle<Promise<T>>::from_promise(*this)};
+}
+inline Coro<void> Promise<void>::get_return_object() noexcept {
+  return Coro<void>{std::coroutine_handle<Promise<void>>::from_promise(*this)};
+}
+}  // namespace detail
+
+}  // namespace dvx::sim

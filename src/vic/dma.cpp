@@ -1,0 +1,38 @@
+#include "vic/dma.hpp"
+
+#include <algorithm>
+
+namespace dvx::vic {
+
+DmaResult DmaEngine::transfer(std::int64_t bytes, sim::Time ready) {
+  const auto& p = link_.params();
+  if (bytes <= 0) return DmaResult{ready, ready};
+  ++transactions_;
+  moved_ += bytes;
+
+  const double bw =
+      dir_ == PcieDir::kHostToVic ? p.dma_to_vic_bw : p.dma_from_vic_bw;
+  const std::int64_t table_span =
+      static_cast<std::int64_t>(p.dma_table_entries) * p.dma_entry_bytes;
+
+  sim::Time t = std::max(ready, busy_);
+  const sim::Time start = t;
+  std::int64_t remaining = bytes;
+  while (remaining > 0) {
+    const std::int64_t batch = std::min(remaining, table_span);
+    t += p.dma_setup;  // program the table (once per refill)
+    // Chunk at entry granularity so concurrent traffic on the shared PCIe
+    // direction interleaves rather than being lumped behind one giant burst.
+    std::int64_t left = batch;
+    while (left > 0) {
+      const std::int64_t chunk = std::min(left, p.dma_entry_bytes);
+      t = link_.occupy(dir_, chunk, bw, t);
+      left -= chunk;
+    }
+    remaining -= batch;
+  }
+  busy_ = t;
+  return DmaResult{start, t};
+}
+
+}  // namespace dvx::vic

@@ -1,0 +1,43 @@
+#pragma once
+// VIC DMA engines (paper §III): two engines move data between host memory,
+// DV memory, and the network. Transactions are described by DMA-table
+// entries (8192 available); large transfers are chunked at entry granularity
+// and a transfer needing more entries than the table holds pays an extra
+// setup per refill. Requires HugeTLB-backed host buffers on the real system;
+// here that constraint surfaces only as the registration API in dvapi.
+
+#include <cstdint>
+
+#include "sim/time.hpp"
+#include "vic/pcie.hpp"
+
+namespace dvx::vic {
+
+struct DmaResult {
+  sim::Time start;     ///< when the engine began moving data
+  sim::Time complete;  ///< when the last byte landed
+};
+
+class DmaEngine {
+ public:
+  DmaEngine(PcieLink& link, PcieDir dir) : link_(link), dir_(dir) {}
+
+  /// Schedules a DMA of `bytes`; returns start/completion times. Serializes
+  /// on both this engine and the PCIe direction it uses. Monotone in call
+  /// order.
+  DmaResult transfer(std::int64_t bytes, sim::Time ready);
+
+  PcieDir direction() const noexcept { return dir_; }
+  sim::Time busy_until() const noexcept { return busy_; }
+  std::int64_t bytes_moved() const noexcept { return moved_; }
+  std::uint64_t transactions() const noexcept { return transactions_; }
+
+ private:
+  PcieLink& link_;
+  PcieDir dir_;
+  sim::Time busy_ = 0;
+  std::int64_t moved_ = 0;
+  std::uint64_t transactions_ = 0;
+};
+
+}  // namespace dvx::vic

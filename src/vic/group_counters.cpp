@@ -1,0 +1,69 @@
+#include "vic/group_counters.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <stdexcept>
+
+namespace dvx::vic {
+
+void GroupCounter::set(sim::Time at, std::uint64_t v) {
+  value_ = v;
+  settle_ = std::max(settle_, std::max(at, engine_.now()));
+  // Waiters re-evaluate immediately; they sleep towards the settle time.
+  cond_.notify_all(engine_.now());
+}
+
+void GroupCounter::decrement(sim::Time at_last, std::uint64_t n) {
+  if (n == 0) return;
+  if (value_ == 0) {
+    // Hardware hazard reproduced: arrivals against a zero counter are lost
+    // (paper §III: "the initial packet arrival is lost").
+    lost_ += n;
+    return;
+  }
+  const std::uint64_t applied = std::min(value_, n);
+  lost_ += n - applied;
+  value_ -= applied;
+  settle_ = std::max(settle_, std::max(at_last, engine_.now()));
+  cond_.notify_all(engine_.now());
+}
+
+sim::Coro<bool> GroupCounter::wait_zero(sim::Duration timeout) {
+  const sim::Time deadline =
+      timeout < 0 ? std::numeric_limits<sim::Time>::max() : engine_.now() + timeout;
+  for (;;) {
+    if (value_ == 0 && settle_ <= engine_.now()) co_return true;
+    if (engine_.now() >= deadline) co_return false;
+    const sim::Time target = value_ == 0 ? std::min(settle_, deadline) : deadline;
+    if (target == std::numeric_limits<sim::Time>::max()) {
+      // No finite wake-up target: a timed wait would park a far-future event
+      // in the queue and drag the final engine clock out to it.
+      co_await cond_.wait();
+    } else {
+      co_await cond_.wait_until(target);
+    }
+  }
+}
+
+GroupCounterFile::GroupCounterFile(sim::Engine& engine) {
+  counters_.reserve(kNumGroupCounters);
+  for (int i = 0; i < kNumGroupCounters; ++i) {
+    counters_.push_back(std::make_unique<GroupCounter>(engine));
+  }
+}
+
+GroupCounter& GroupCounterFile::at(int id) {
+  if (id < 0 || id >= kNumGroupCounters) {
+    throw std::out_of_range("GroupCounterFile: bad counter id " + std::to_string(id));
+  }
+  return *counters_[static_cast<std::size_t>(id)];
+}
+
+const GroupCounter& GroupCounterFile::at(int id) const {
+  if (id < 0 || id >= kNumGroupCounters) {
+    throw std::out_of_range("GroupCounterFile: bad counter id " + std::to_string(id));
+  }
+  return *counters_[static_cast<std::size_t>(id)];
+}
+
+}  // namespace dvx::vic

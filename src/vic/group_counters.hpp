@@ -1,0 +1,79 @@
+#pragma once
+// VIC group counters (paper §II/§III).
+//
+// A group counter counts down the words of an in-flight transfer: the
+// receiver (or any VIC — counters are globally settable) presets it to the
+// expected word count, arriving packets that name the counter decrement it,
+// and the application waits for zero (with an optional timeout). The current
+// VIC exposes 64 counters; #0 is reserved as a scratch counter and the last
+// two are reserved for the intrinsic barrier.
+//
+// Timing model: operations are registered in nondecreasing *call* time (the
+// DES guarantees this) but carry their own *effective* times — the virtual
+// instant the packet reaches the counter. A waiter resumes at the settle
+// time: the latest effective time among the operations that drove the value
+// to zero. Decrementing a counter already at zero reproduces the documented
+// hardware hazard ("the initial packet arrival is lost"): the decrement is
+// dropped and counted in lost_decrements().
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "sim/engine.hpp"
+#include "sim/sync.hpp"
+#include "sim/task.hpp"
+#include "sim/time.hpp"
+
+namespace dvx::vic {
+
+inline constexpr int kNumGroupCounters = 64;
+/// Counter #0 is the scratch counter ("does not need to be checked").
+inline constexpr int kScratchCounter = 0;
+/// The last two counters are reserved by the intrinsic barrier.
+inline constexpr int kBarrierCounterA = kNumGroupCounters - 2;
+inline constexpr int kBarrierCounterB = kNumGroupCounters - 1;
+/// First counter id free for applications.
+inline constexpr int kFirstUserCounter = 1;
+
+class GroupCounter {
+ public:
+  explicit GroupCounter(sim::Engine& engine) : engine_(engine), cond_(engine) {}
+
+  /// Sets the counter to `v`, effective at time `at`.
+  void set(sim::Time at, std::uint64_t v);
+
+  /// Registers `n` packet arrivals whose last word lands at time `at_last`.
+  void decrement(sim::Time at_last, std::uint64_t n = 1);
+
+  /// Waits until the counter settles at zero. `timeout` < 0 waits forever.
+  /// Returns true on zero, false on timeout (mirrors the dvapi call).
+  sim::Coro<bool> wait_zero(sim::Duration timeout = -1);
+
+  std::uint64_t value() const noexcept { return value_; }
+  sim::Time settle_time() const noexcept { return settle_; }
+  std::uint64_t lost_decrements() const noexcept { return lost_; }
+
+ private:
+  sim::Engine& engine_;
+  sim::Condition cond_;
+  std::uint64_t value_ = 0;
+  sim::Time settle_ = 0;
+  std::uint64_t lost_ = 0;
+};
+
+/// The 64-counter file of one VIC.
+class GroupCounterFile {
+ public:
+  explicit GroupCounterFile(sim::Engine& engine);
+  GroupCounterFile(const GroupCounterFile&) = delete;
+  GroupCounterFile& operator=(const GroupCounterFile&) = delete;
+
+  GroupCounter& at(int id);
+  const GroupCounter& at(int id) const;
+
+ private:
+  std::vector<std::unique_ptr<GroupCounter>> counters_;
+};
+
+}  // namespace dvx::vic

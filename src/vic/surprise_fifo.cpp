@@ -1,0 +1,47 @@
+#include "vic/surprise_fifo.hpp"
+
+#include <stdexcept>
+
+namespace dvx::vic {
+
+SurpriseFifo::SurpriseFifo(sim::Engine& engine, std::size_t capacity)
+    : engine_(engine), cond_(engine), capacity_(capacity) {
+  if (capacity == 0) throw std::invalid_argument("SurpriseFifo: zero capacity");
+}
+
+void SurpriseFifo::deposit(sim::Time at, Packet p) {
+  if (heap_.size() >= capacity_) {
+    ++dropped_;
+    return;
+  }
+  if (at < engine_.now()) at = engine_.now();
+  heap_.push(Entry{at, seq_++, p});
+  ++deposited_;
+  cond_.notify_all(engine_.now());
+}
+
+std::vector<Packet> SurpriseFifo::poll() {
+  std::vector<Packet> out;
+  while (!heap_.empty() && heap_.top().at <= engine_.now()) {
+    out.push_back(heap_.top().packet);
+    heap_.pop();
+  }
+  return out;
+}
+
+bool SurpriseFifo::ready() const {
+  return !heap_.empty() && heap_.top().at <= engine_.now();
+}
+
+sim::Coro<std::vector<Packet>> SurpriseFifo::wait_packets() {
+  for (;;) {
+    if (ready()) co_return poll();
+    if (!heap_.empty()) {
+      co_await cond_.wait_until(heap_.top().at);
+    } else {
+      co_await cond_.wait();
+    }
+  }
+}
+
+}  // namespace dvx::vic

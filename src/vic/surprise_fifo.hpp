@@ -1,0 +1,69 @@
+#pragma once
+// The VIC's "surprise packet" FIFO (paper §II/§III): a network-addressable
+// input queue that non-destructively buffers thousands of 8-byte messages
+// with no pre-arranged DV-memory slot. Arrival order across the network is
+// not guaranteed; the developer polls and handles reordering.
+//
+// A background DMA process drains the hardware FIFO into a host-side ring
+// buffer, so host polls are cheap (no PCIe round trip); that is why poll()
+// here exposes packets by arrival time without an extra read latency.
+
+#include <cstdint>
+#include <queue>
+#include <vector>
+
+#include "sim/engine.hpp"
+#include "sim/sync.hpp"
+#include "sim/task.hpp"
+#include "sim/time.hpp"
+#include "vic/packet.hpp"
+
+namespace dvx::vic {
+
+class SurpriseFifo {
+ public:
+  /// "thousands of 8-byte messages": default ring of 64 Ki entries.
+  static constexpr std::size_t kDefaultCapacity = 64 * 1024;
+
+  explicit SurpriseFifo(sim::Engine& engine, std::size_t capacity = kDefaultCapacity);
+
+  /// Network-side deposit: the packet becomes visible to the host at `at`.
+  /// On overflow the packet is dropped (counted in dropped()).
+  void deposit(sim::Time at, Packet p);
+
+  /// Host-side poll: removes and returns every packet visible now.
+  std::vector<Packet> poll();
+
+  /// Waits until at least one packet is visible, then returns all of them.
+  sim::Coro<std::vector<Packet>> wait_packets();
+
+  /// True if a packet is visible at the current virtual time.
+  bool ready() const;
+
+  std::size_t buffered() const noexcept { return heap_.size(); }
+  std::size_t capacity() const noexcept { return capacity_; }
+  std::uint64_t dropped() const noexcept { return dropped_; }
+  std::uint64_t total_deposited() const noexcept { return deposited_; }
+
+ private:
+  struct Entry {
+    sim::Time at;
+    std::uint64_t seq;  // preserves deposit order among equal arrival times
+    Packet packet;
+  };
+  struct Later {
+    bool operator()(const Entry& a, const Entry& b) const noexcept {
+      return a.at != b.at ? a.at > b.at : a.seq > b.seq;
+    }
+  };
+
+  sim::Engine& engine_;
+  sim::Condition cond_;
+  std::priority_queue<Entry, std::vector<Entry>, Later> heap_;
+  std::size_t capacity_;
+  std::uint64_t seq_ = 0;
+  std::uint64_t dropped_ = 0;
+  std::uint64_t deposited_ = 0;
+};
+
+}  // namespace dvx::vic

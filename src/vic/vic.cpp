@@ -1,0 +1,118 @@
+#include "vic/vic.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <stdexcept>
+
+namespace dvx::vic {
+
+Vic::Vic(sim::Engine& engine, DvFabric& fabric, int id, const VicParams& params)
+    : engine_(engine),
+      fabric_(fabric),
+      id_(id),
+      memory_(params.dv_memory_words),
+      counters_(engine),
+      fifo_(engine, params.fifo_capacity),
+      pcie_(params.pcie),
+      dma_down_(pcie_, PcieDir::kHostToVic),
+      dma_up_(pcie_, PcieDir::kVicToHost) {}
+
+void Vic::deliver(const Packet& p, sim::Time arrival) {
+  switch (p.header.kind) {
+    case DestKind::kDvMemory:
+      memory_.write(p.header.addr, p.payload);
+      break;
+    case DestKind::kFifo:
+      fifo_.deposit(arrival, p);
+      break;
+    case DestKind::kGroupCounter:
+      counters_.at(static_cast<int>(p.header.addr)).set(arrival, p.payload);
+      break;
+    case DestKind::kQuery: {
+      // Remote read without host intervention (paper §III): the payload is
+      // the header of the reply, whose payload is the requested word. The
+      // reply destination need not be the original sender.
+      Packet reply;
+      reply.header = decode_header(p.payload);
+      reply.payload = memory_.read(p.header.addr);
+      fabric_.transmit(id_, std::span<const Packet>(&reply, 1), arrival);
+      break;
+    }
+  }
+  if (p.header.counter != kNoCounter && p.header.kind != DestKind::kGroupCounter) {
+    counters_.at(static_cast<int>(p.header.counter)).decrement(arrival);
+  }
+}
+
+DvFabric::DvFabric(sim::Engine& engine, int nodes, DvFabricParams params)
+    : engine_(engine),
+      params_(params),
+      model_([&] {
+        auto fp = params.fabric;
+        if (fp.geometry.ports() < nodes) {
+          fp.geometry = dvnet::Geometry::for_ports(nodes, fp.geometry.angles);
+        }
+        return fp;
+      }()),
+      barrier_cond_(engine) {
+  if (nodes <= 0) throw std::invalid_argument("DvFabric: need at least one node");
+  vics_.reserve(static_cast<std::size_t>(nodes));
+  for (int i = 0; i < nodes; ++i) {
+    vics_.push_back(std::make_unique<Vic>(engine, *this, i, params.vic));
+  }
+}
+
+dvnet::BurstTiming DvFabric::transmit(int src, std::span<const Packet> packets,
+                                      sim::Time ready) {
+  if (packets.empty()) return dvnet::BurstTiming{ready, ready};
+  dvnet::BurstTiming whole{0, 0};
+  bool first_run = true;
+  std::size_t i = 0;
+  while (i < packets.size()) {
+    // Coalesce a run of packets to the same destination into one burst.
+    std::size_t j = i + 1;
+    const int dst = packets[i].header.dst_vic;
+    while (j < packets.size() && packets[j].header.dst_vic == dst) ++j;
+    const auto n = static_cast<std::int64_t>(j - i);
+    const auto timing = model_.send_burst(src, dst, n, ready);
+    if (first_run) {
+      whole.first_arrival = timing.first_arrival;
+      first_run = false;
+    }
+    whole.last_arrival = std::max(whole.last_arrival, timing.last_arrival);
+
+    // Apply per-packet effects; arrival times interpolated across the run.
+    Vic& target = vic(dst);
+    for (std::size_t k = i; k < j; ++k) {
+      const auto idx = static_cast<std::int64_t>(k - i);
+      const sim::Time at =
+          n == 1 ? timing.first_arrival
+                 : timing.first_arrival +
+                       (timing.last_arrival - timing.first_arrival) * idx / (n - 1);
+      target.deliver(packets[k], at);
+    }
+    i = j;
+  }
+  return whole;
+}
+
+sim::Coro<void> DvFabric::intrinsic_barrier(int rank) {
+  (void)rank;  // every VIC participates exactly once per phase
+  const std::uint64_t my_phase = barrier_phase_;
+  barrier_latest_ = std::max(barrier_latest_, engine_.now());
+  if (++barrier_arrived_ == nodes()) {
+    // Hardware completes the AND-tree: base cost plus a little per level.
+    const int levels = std::bit_width(static_cast<unsigned>(nodes() - 1));
+    const sim::Time release = barrier_latest_ + params_.barrier_base +
+                              static_cast<sim::Duration>(levels) * params_.barrier_per_level;
+    barrier_arrived_ = 0;
+    barrier_latest_ = 0;
+    ++barrier_phase_;
+    barrier_cond_.notify_all(release);
+    co_await engine_.resume_at(release);
+    co_return;
+  }
+  while (barrier_phase_ == my_phase) co_await barrier_cond_.wait();
+}
+
+}  // namespace dvx::vic

@@ -1,0 +1,116 @@
+#pragma once
+// The Vortex Interface Controller (VIC) and the cluster-wide Data Vortex
+// fabric assembly.
+//
+// A Vic bundles the components of one PCIe card (paper Fig. 2): the DV
+// memory, the group-counter file, the surprise FIFO, the PCIe link, and two
+// DMA engines. DvFabric owns one Vic per node plus the switch timing model
+// and moves packets between them.
+//
+// Data-vs-time convention: packet *data effects* (DV-memory writes, counter
+// sets) are applied eagerly when the sender transmits, while their *timing*
+// is carried by arrival times on group counters and the FIFO. A conforming
+// Data Vortex program only reads data after synchronizing on a counter,
+// barrier, or FIFO arrival, so the early visibility is unobservable; it is
+// what lets the simulator move bursts in O(1) instead of per-packet events.
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "dvnet/fabric_model.hpp"
+#include "sim/engine.hpp"
+#include "sim/sync.hpp"
+#include "sim/task.hpp"
+#include "vic/dma.hpp"
+#include "vic/dv_memory.hpp"
+#include "vic/group_counters.hpp"
+#include "vic/packet.hpp"
+#include "vic/pcie.hpp"
+#include "vic/surprise_fifo.hpp"
+
+namespace dvx::vic {
+
+struct VicParams {
+  std::size_t dv_memory_words = DvMemory::kDefaultWords;
+  std::size_t fifo_capacity = SurpriseFifo::kDefaultCapacity;
+  PcieParams pcie{};
+};
+
+class DvFabric;
+
+class Vic {
+ public:
+  Vic(sim::Engine& engine, DvFabric& fabric, int id, const VicParams& params);
+
+  int id() const noexcept { return id_; }
+  DvMemory& memory() noexcept { return memory_; }
+  GroupCounterFile& counters() noexcept { return counters_; }
+  SurpriseFifo& fifo() noexcept { return fifo_; }
+  PcieLink& pcie() noexcept { return pcie_; }
+  DmaEngine& dma_to_vic() noexcept { return dma_down_; }
+  DmaEngine& dma_from_vic() noexcept { return dma_up_; }
+
+  /// Network ingress: applies one packet whose last bit lands at `arrival`.
+  /// Query packets trigger a host-free reply through the fabric.
+  void deliver(const Packet& p, sim::Time arrival);
+
+ private:
+  sim::Engine& engine_;
+  DvFabric& fabric_;
+  int id_;
+  DvMemory memory_;
+  GroupCounterFile counters_;
+  SurpriseFifo fifo_;
+  PcieLink pcie_;
+  DmaEngine dma_down_;
+  DmaEngine dma_up_;
+};
+
+struct DvFabricParams {
+  dvnet::FabricParams fabric{};
+  VicParams vic{};
+  /// Intrinsic hardware barrier (two reserved group counters, handled by the
+  /// VICs without host round trips): nearly flat in node count (Fig. 4).
+  sim::Duration barrier_base = sim::ns(900);
+  sim::Duration barrier_per_level = sim::ns(40);
+};
+
+/// The whole Data Vortex side of the cluster: one switch + N VICs.
+class DvFabric {
+ public:
+  DvFabric(sim::Engine& engine, int nodes, DvFabricParams params = {});
+
+  int nodes() const noexcept { return static_cast<int>(vics_.size()); }
+  Vic& vic(int id) { return *vics_.at(static_cast<std::size_t>(id)); }
+  dvnet::FabricModel& model() noexcept { return model_; }
+  sim::Engine& engine() noexcept { return engine_; }
+  const DvFabricParams& params() const noexcept { return params_; }
+
+  /// Injects a batch of packets from `src`'s VIC, already resident on the
+  /// card, first word able to enter the switch at `ready`. Consecutive
+  /// packets to the same destination share one fabric burst. Returns the
+  /// (first, last) ejection times of the whole batch.
+  dvnet::BurstTiming transmit(int src, std::span<const Packet> packets,
+                              sim::Time ready);
+
+  /// Hardware barrier built on the two reserved counters: rank's VIC arrives
+  /// at the current virtual time; resumes when every VIC has arrived plus
+  /// the (small, log-depth) hardware latency.
+  sim::Coro<void> intrinsic_barrier(int rank);
+
+ private:
+  sim::Engine& engine_;
+  DvFabricParams params_;
+  dvnet::FabricModel model_;
+  std::vector<std::unique_ptr<Vic>> vics_;
+
+  // Intrinsic barrier bookkeeping.
+  sim::Condition barrier_cond_;
+  int barrier_arrived_ = 0;
+  std::uint64_t barrier_phase_ = 0;
+  sim::Time barrier_latest_ = 0;
+};
+
+}  // namespace dvx::vic

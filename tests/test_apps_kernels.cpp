@@ -1,0 +1,115 @@
+// End-to-end tests of the kernel applications (GUPS, FFT-1D, BFS) on BOTH
+// network backends: numerics verified, plus DV-vs-MPI cross-checks and the
+// paper's qualitative performance relations.
+
+#include <gtest/gtest.h>
+
+#include "apps/bfs.hpp"
+#include "apps/fft1d.hpp"
+#include "apps/gups.hpp"
+#include "runtime/cluster.hpp"
+
+namespace apps = dvx::apps;
+namespace runtime = dvx::runtime;
+
+namespace {
+
+runtime::Cluster make_cluster(int nodes) {
+  return runtime::Cluster(runtime::ClusterConfig{.nodes = nodes});
+}
+
+TEST(GupsApp, DvVerifiesByXorInvolution) {
+  auto cluster = make_cluster(4);
+  apps::GupsParams gp{.local_table_words = 1 << 12,
+                      .updates_per_node = 1 << 12,
+                      .verify = true};
+  const auto res = apps::run_gups_dv(cluster, gp);
+  EXPECT_EQ(res.errors, 0u);
+  EXPECT_GT(res.gups(), 0.0);
+  EXPECT_GT(res.seconds, 0.0);
+}
+
+TEST(GupsApp, MpiVerifiesByXorInvolution) {
+  auto cluster = make_cluster(4);
+  apps::GupsParams gp{.local_table_words = 1 << 12,
+                      .updates_per_node = 1 << 12,
+                      .verify = true};
+  const auto res = apps::run_gups_mpi(cluster, gp);
+  EXPECT_EQ(res.errors, 0u);
+  EXPECT_GT(res.gups(), 0.0);
+}
+
+TEST(GupsApp, DataVortexBeatsMpiAndGapWidens) {
+  // Fig. 6: DV GUPS above MPI, and the advantage grows with node count.
+  apps::GupsParams gp{.local_table_words = 1 << 12, .updates_per_node = 1 << 13};
+  auto c4 = make_cluster(4);
+  auto c16 = make_cluster(16);
+  const double dv4 = apps::run_gups_dv(c4, gp).gups();
+  const double ib4 = apps::run_gups_mpi(c4, gp).gups();
+  const double dv16 = apps::run_gups_dv(c16, gp).gups();
+  const double ib16 = apps::run_gups_mpi(c16, gp).gups();
+  EXPECT_GT(dv4, ib4);
+  EXPECT_GT(dv16, ib16);
+  EXPECT_GT(dv16 / ib16, dv4 / ib4) << "performance gap should widen with nodes";
+}
+
+TEST(GupsApp, RejectsNonPowerOfTwoNodes) {
+  auto cluster = make_cluster(3);
+  EXPECT_THROW(apps::run_gups_dv(cluster, {}), std::invalid_argument);
+  EXPECT_THROW(apps::run_gups_mpi(cluster, {}), std::invalid_argument);
+}
+
+class FftAppBackends : public ::testing::TestWithParam<int> {};
+
+TEST_P(FftAppBackends, DistributedMatchesSerialSixStep) {
+  const int nodes = GetParam();
+  auto cluster = make_cluster(nodes);
+  apps::FftParams fp{.log_size = 12, .verify = true};
+  const auto dv = apps::run_fft_dv(cluster, fp);
+  EXPECT_LT(dv.max_error, 1e-8) << "DV FFT numerics broken";
+  const auto mpi = apps::run_fft_mpi(cluster, fp);
+  EXPECT_LT(mpi.max_error, 1e-8) << "MPI FFT numerics broken";
+  EXPECT_GT(dv.gflops(), 0.0);
+  EXPECT_GT(mpi.gflops(), 0.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Nodes, FftAppBackends, ::testing::Values(1, 2, 4, 8),
+                         ::testing::PrintToStringParamName());
+
+TEST(FftApp, DataVortexWinsAtScale) {
+  // Fig. 7: DV aggregate GFLOPS above MPI at larger node counts.
+  apps::FftParams fp{.log_size = 16};
+  auto c16 = make_cluster(16);
+  const auto dv = apps::run_fft_dv(c16, fp);
+  const auto mpi = apps::run_fft_mpi(c16, fp);
+  EXPECT_GT(dv.gflops(), mpi.gflops());
+}
+
+TEST(BfsApp, BothBackendsProduceValidTrees) {
+  apps::BfsParams bp{.scale = 10, .edge_factor = 8, .searches = 2, .validate = true};
+  auto cluster = make_cluster(4);
+  const auto dv = apps::run_bfs_dv(cluster, bp);
+  EXPECT_TRUE(dv.validated) << dv.validation_error;
+  EXPECT_GT(dv.harmonic_mean_teps, 0.0);
+  const auto mpi = apps::run_bfs_mpi(cluster, bp);
+  EXPECT_TRUE(mpi.validated) << mpi.validation_error;
+  EXPECT_GT(mpi.harmonic_mean_teps, 0.0);
+}
+
+TEST(BfsApp, SingleNodeStillWorks) {
+  apps::BfsParams bp{.scale = 9, .edge_factor = 8, .searches = 1, .validate = true};
+  auto cluster = make_cluster(1);
+  const auto dv = apps::run_bfs_dv(cluster, bp);
+  EXPECT_TRUE(dv.validated) << dv.validation_error;
+}
+
+TEST(BfsApp, DataVortexBeatsMpiAtScale) {
+  // Fig. 8: DV TEPS consistently above MPI.
+  apps::BfsParams bp{.scale = 12, .edge_factor = 8, .searches = 2};
+  auto c8 = make_cluster(8);
+  const auto dv = apps::run_bfs_dv(c8, bp);
+  const auto mpi = apps::run_bfs_mpi(c8, bp);
+  EXPECT_GT(dv.harmonic_mean_teps, mpi.harmonic_mean_teps);
+}
+
+}  // namespace

@@ -1,0 +1,332 @@
+// Tests for the computational kernels: FFT, Kronecker generator, CSR/BFS,
+// GUPS table, and stencil helpers.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <set>
+
+#include "kernels/csr.hpp"
+#include "kernels/fft.hpp"
+#include "kernels/gups_table.hpp"
+#include "kernels/kronecker.hpp"
+#include "kernels/stencil.hpp"
+#include "sim/rng.hpp"
+
+namespace kernels = dvx::kernels;
+namespace sim = dvx::sim;
+using kernels::Complex;
+
+namespace {
+
+std::vector<Complex> random_signal(std::size_t n, std::uint64_t seed) {
+  sim::Xoshiro256 rng(seed);
+  std::vector<Complex> v(n);
+  for (auto& x : v) x = Complex(rng.uniform(-1, 1), rng.uniform(-1, 1));
+  return v;
+}
+
+class FftSizes : public ::testing::TestWithParam<int> {};
+
+TEST_P(FftSizes, MatchesNaiveDft) {
+  const std::size_t n = 1u << GetParam();
+  auto sig = random_signal(n, 7);
+  auto expect = kernels::naive_dft(sig);
+  kernels::fft(sig);
+  EXPECT_LT(kernels::max_abs_diff(sig, expect), 1e-9 * static_cast<double>(n));
+}
+
+TEST_P(FftSizes, ForwardInverseRoundTrips) {
+  const std::size_t n = 1u << GetParam();
+  const auto orig = random_signal(n, 11);
+  auto sig = orig;
+  kernels::fft(sig);
+  kernels::fft(sig, /*inverse=*/true);
+  EXPECT_LT(kernels::max_abs_diff(sig, orig), 1e-10 * static_cast<double>(n));
+}
+
+INSTANTIATE_TEST_SUITE_P(Pow2, FftSizes, ::testing::Values(0, 1, 2, 4, 6, 8, 10),
+                         ::testing::PrintToStringParamName());
+
+TEST(Fft, RejectsNonPowerOfTwo) {
+  std::vector<Complex> v(6);
+  EXPECT_THROW(kernels::fft(v), std::invalid_argument);
+}
+
+TEST(Fft, SixStepEqualsDirectFft) {
+  for (auto [n1, n2] : {std::pair{4, 8}, std::pair{8, 8}, std::pair{16, 4}}) {
+    const auto orig = random_signal(static_cast<std::size_t>(n1 * n2), 23);
+    auto direct = orig;
+    kernels::fft(direct);
+    const auto six = kernels::six_step_fft(orig, n1, n2);
+    EXPECT_LT(kernels::max_abs_diff(six, direct), 1e-9 * n1 * n2)
+        << "n1=" << n1 << " n2=" << n2;
+  }
+}
+
+TEST(Fft, SixStepInverseRoundTrips) {
+  const int n1 = 8, n2 = 16;
+  const auto orig = random_signal(static_cast<std::size_t>(n1 * n2), 31);
+  const auto f = kernels::six_step_fft(orig, n1, n2);
+  const auto b = kernels::six_step_fft(f, n1, n2, /*inverse=*/true);
+  EXPECT_LT(kernels::max_abs_diff(b, orig), 1e-10 * n1 * n2);
+}
+
+TEST(Fft, TransposeRoundTrips) {
+  const auto m = random_signal(12, 3);
+  const auto t = kernels::transpose(m, 3, 4);
+  const auto tt = kernels::transpose(t, 4, 3);
+  EXPECT_LT(kernels::max_abs_diff(tt, m), 0.0 + 1e-300);
+  EXPECT_THROW(kernels::transpose(m, 5, 4), std::invalid_argument);
+}
+
+TEST(Fft, FlopConventionIs5NLogN) {
+  EXPECT_DOUBLE_EQ(kernels::fft_flops(1 << 10), 5.0 * 1024 * 10);
+  EXPECT_DOUBLE_EQ(kernels::fft_flops(1), 0.0);
+}
+
+TEST(Kronecker, DeterministicAndInRange) {
+  kernels::KroneckerGenerator gen({.scale = 10, .edge_factor = 8, .seed = 5});
+  kernels::KroneckerGenerator gen2({.scale = 10, .edge_factor = 8, .seed = 5});
+  for (std::uint64_t i = 0; i < 1000; ++i) {
+    const auto e = gen.edge(i);
+    const auto e2 = gen2.edge(i);
+    EXPECT_EQ(e.u, e2.u);
+    EXPECT_EQ(e.v, e2.v);
+    EXPECT_LT(e.u, gen.vertices());
+    EXPECT_LT(e.v, gen.vertices());
+  }
+}
+
+TEST(Kronecker, SliceMatchesPointwiseGeneration) {
+  kernels::KroneckerGenerator gen({.scale = 8, .edge_factor = 4});
+  const auto s = gen.slice(100, 200);
+  ASSERT_EQ(s.size(), 100u);
+  for (std::uint64_t i = 0; i < 100; ++i) {
+    EXPECT_EQ(s[i].u, gen.edge(100 + i).u);
+    EXPECT_EQ(s[i].v, gen.edge(100 + i).v);
+  }
+  EXPECT_THROW(gen.slice(10, 5), std::out_of_range);
+}
+
+TEST(Kronecker, DegreeDistributionIsSkewed) {
+  // R-MAT graphs follow a power law: the max degree should far exceed the
+  // mean, and a large fraction of vertices should see few or no edges.
+  kernels::KroneckerParams p{.scale = 12, .edge_factor = 16};
+  kernels::KroneckerGenerator gen(p);
+  std::vector<std::uint64_t> degree(gen.vertices(), 0);
+  for (std::uint64_t i = 0; i < gen.edges(); ++i) {
+    const auto e = gen.edge(i);
+    ++degree[e.u];
+    ++degree[e.v];
+  }
+  const double mean = 2.0 * static_cast<double>(gen.edges()) /
+                      static_cast<double>(gen.vertices());
+  const auto max_deg = *std::max_element(degree.begin(), degree.end());
+  EXPECT_GT(static_cast<double>(max_deg), 10.0 * mean);
+  const auto isolated = static_cast<double>(std::count(degree.begin(), degree.end(), 0ull));
+  EXPECT_GT(isolated / static_cast<double>(gen.vertices()), 0.05);
+}
+
+TEST(Kronecker, RejectsBadParams) {
+  EXPECT_THROW(kernels::KroneckerGenerator({.scale = 0}), std::invalid_argument);
+  EXPECT_THROW(kernels::KroneckerGenerator({.scale = 8, .edge_factor = 0}),
+               std::invalid_argument);
+  EXPECT_THROW(kernels::KroneckerGenerator({.scale = 8, .a = 0.6, .b = 0.3, .c = 0.2}),
+               std::invalid_argument);
+}
+
+TEST(Csr, BuildsUndirectedAndDropsSelfLoops) {
+  const std::vector<kernels::Edge> edges = {{0, 1}, {1, 2}, {2, 2}, {0, 1}};
+  kernels::Csr g(4, edges);
+  EXPECT_EQ(g.vertices(), 4u);
+  EXPECT_EQ(g.edges_stored(), 6u);  // 3 kept edges, both directions
+  EXPECT_EQ(g.degree(0), 2u);       // duplicate edge kept
+  EXPECT_EQ(g.degree(2), 1u);       // self-loop dropped
+  EXPECT_EQ(g.degree(3), 0u);
+}
+
+TEST(Csr, SerialBfsFindsShortestLevels) {
+  // Path 0-1-2-3 plus shortcut 0-3: parent tree must use level-1 shortcut.
+  const std::vector<kernels::Edge> edges = {{0, 1}, {1, 2}, {2, 3}, {0, 3}};
+  kernels::Csr g(5, edges);
+  const auto parent = kernels::bfs_serial(g, 0);
+  EXPECT_EQ(parent[0], 0u);
+  EXPECT_EQ(parent[3], 0u);  // direct edge wins over the long path
+  EXPECT_EQ(parent[4], kernels::kNoParent);
+  EXPECT_TRUE(kernels::validate_bfs(g, 0, parent).empty());
+  EXPECT_DOUBLE_EQ(kernels::traversed_edges(g, parent), 4.0);
+}
+
+TEST(Csr, ValidationCatchesCorruptTrees) {
+  const std::vector<kernels::Edge> edges = {{0, 1}, {1, 2}, {2, 3}};
+  kernels::Csr g(4, edges);
+  auto parent = kernels::bfs_serial(g, 0);
+  auto bad = parent;
+  bad[3] = 1;  // claims tree edge (3,1) which does not exist
+  EXPECT_FALSE(kernels::validate_bfs(g, 0, bad).empty());
+  bad = parent;
+  bad[2] = kernels::kNoParent;  // reachability mismatch
+  EXPECT_FALSE(kernels::validate_bfs(g, 0, bad).empty());
+  bad = parent;
+  bad[0] = 1;  // root must be its own parent
+  EXPECT_FALSE(kernels::validate_bfs(g, 0, bad).empty());
+}
+
+TEST(Csr, ValidatesBfsOnKroneckerGraph) {
+  kernels::KroneckerGenerator gen({.scale = 10, .edge_factor = 8});
+  const auto edges = gen.slice(0, gen.edges());
+  kernels::Csr g(gen.vertices(), edges);
+  const auto parent = kernels::bfs_serial(g, gen.edge(0).u);
+  EXPECT_TRUE(kernels::validate_bfs(g, gen.edge(0).u, parent).empty());
+  EXPECT_GT(kernels::traversed_edges(g, parent), 0.0);
+}
+
+TEST(Gups, LfsrStreamIsNonDegenerate) {
+  std::uint64_t a = kernels::gups_start(3);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 10000; ++i) {
+    a = kernels::gups_next(a);
+    seen.insert(a);
+  }
+  EXPECT_GT(seen.size(), 9990u);  // essentially no repeats in a short window
+}
+
+TEST(Gups, XorUpdatesAreAnInvolution) {
+  constexpr int kRanks = 4;
+  constexpr std::uint64_t kLocal = 1024;
+  std::vector<kernels::GupsTable> tables;
+  for (int r = 0; r < kRanks; ++r) {
+    tables.emplace_back(kLocal);
+    tables.back().init(static_cast<std::uint64_t>(r) * kLocal);
+  }
+  auto run_stream = [&] {
+    for (int r = 0; r < kRanks; ++r) {
+      std::uint64_t a = kernels::gups_start(static_cast<std::uint64_t>(r));
+      for (int i = 0; i < 5000; ++i) {
+        a = kernels::gups_next(a);
+        const auto t = kernels::gups_target(a, kRanks, kLocal);
+        tables[static_cast<std::size_t>(t.owner)].apply(t.offset, a);
+      }
+    }
+  };
+  run_stream();
+  std::uint64_t mid_errors = 0;
+  for (int r = 0; r < kRanks; ++r) {
+    mid_errors += tables[static_cast<std::size_t>(r)].errors(
+        static_cast<std::uint64_t>(r) * kLocal);
+  }
+  EXPECT_GT(mid_errors, 0u) << "updates must actually change the table";
+  run_stream();  // XOR twice restores everything
+  for (int r = 0; r < kRanks; ++r) {
+    EXPECT_EQ(tables[static_cast<std::size_t>(r)].errors(
+                  static_cast<std::uint64_t>(r) * kLocal),
+              0u);
+  }
+}
+
+TEST(Gups, TargetsCoverAllRanks) {
+  std::set<int> owners;
+  std::uint64_t a = kernels::gups_start(0);
+  for (int i = 0; i < 1000; ++i) {
+    a = kernels::gups_next(a);
+    const auto t = kernels::gups_target(a, 8, 4096);
+    EXPECT_GE(t.owner, 0);
+    EXPECT_LT(t.owner, 8);
+    EXPECT_LT(t.offset, 4096u);
+    owners.insert(t.owner);
+  }
+  EXPECT_EQ(owners.size(), 8u);
+}
+
+TEST(Gups, TableRejectsBadSize) {
+  EXPECT_THROW(kernels::GupsTable(0), std::invalid_argument);
+  EXPECT_THROW(kernels::GupsTable(100), std::invalid_argument);
+}
+
+TEST(Stencil, ProcessGridIsExactFactorization) {
+  for (int n : {1, 2, 3, 4, 8, 12, 16, 32}) {
+    const auto g = kernels::process_grid_3d(n);
+    EXPECT_EQ(g[0] * g[1] * g[2], n);
+  }
+  const auto g8 = kernels::process_grid_3d(8);
+  EXPECT_EQ(g8[0] * g8[1] * g8[2], 8);
+  EXPECT_LE(std::max({g8[0], g8[1], g8[2]}), 2);  // 2x2x2, near-cubic
+}
+
+TEST(Stencil, BlockRangeTilesExactly) {
+  for (int parts : {1, 3, 7}) {
+    std::int64_t covered = 0;
+    std::int64_t prev_end = 0;
+    for (int p = 0; p < parts; ++p) {
+      const auto [b, e] = kernels::block_range(100, parts, p);
+      EXPECT_EQ(b, prev_end);
+      covered += e - b;
+      prev_end = e;
+    }
+    EXPECT_EQ(covered, 100);
+  }
+}
+
+TEST(Stencil, PackUnpackRoundTripsEachFace) {
+  kernels::HaloGrid3 g(3, 4, 5);
+  for (int k = 1; k <= 5; ++k) {
+    for (int j = 1; j <= 4; ++j) {
+      for (int i = 1; i <= 3; ++i) g.at(i, j, k) = i * 100 + j * 10 + k;
+    }
+  }
+  for (int face = 0; face < 6; ++face) {
+    const auto packed = g.pack_face(face);
+    EXPECT_EQ(static_cast<std::int64_t>(packed.size()), g.face_cells(face));
+    kernels::HaloGrid3 h(3, 4, 5);
+    h.unpack_halo(face, packed);
+    // Spot-check one halo value against the source boundary layer.
+    if (face == 1) EXPECT_EQ(h.at(4, 2, 3), g.at(3, 2, 3));
+    if (face == 4) EXPECT_EQ(h.at(2, 2, 0), g.at(2, 2, 1));
+  }
+}
+
+TEST(Stencil, HeatStepConservesEnergyWithReflectingBoundaries) {
+  kernels::HaloGrid3 a(6, 6, 6), b(6, 6, 6);
+  sim::Xoshiro256 rng(5);
+  double total0 = 0.0;
+  for (int k = 1; k <= 6; ++k) {
+    for (int j = 1; j <= 6; ++j) {
+      for (int i = 1; i <= 6; ++i) {
+        a.at(i, j, k) = rng.uniform(0, 10);
+        total0 += a.at(i, j, k);
+      }
+    }
+  }
+  for (int step = 0; step < 20; ++step) {
+    for (int f = 0; f < 6; ++f) a.reflect_boundary(f);
+    kernels::heat_step(a, b, 1.0 / 6.0);
+    std::swap(a, b);
+  }
+  double total1 = 0.0;
+  double spread = 0.0;
+  const double mean = total0 / 216.0;
+  for (int k = 1; k <= 6; ++k) {
+    for (int j = 1; j <= 6; ++j) {
+      for (int i = 1; i <= 6; ++i) {
+        total1 += a.at(i, j, k);
+        spread = std::max(spread, std::abs(a.at(i, j, k) - mean));
+      }
+    }
+  }
+  EXPECT_NEAR(total1, total0, 1e-9 * total0);  // insulated box conserves heat
+  EXPECT_LT(spread, 2.0);                      // and diffuses towards the mean
+}
+
+TEST(Stencil, HeatStepMatchesManualStencil) {
+  kernels::HaloGrid3 a(3, 3, 3), b(3, 3, 3);
+  a.at(2, 2, 2) = 6.0;
+  const double delta = kernels::heat_step(a, b, 1.0 / 6.0);
+  EXPECT_DOUBLE_EQ(b.at(2, 2, 2), 0.0);  // 6 + (0*6 - 36)/6
+  EXPECT_DOUBLE_EQ(b.at(1, 2, 2), 1.0);  // gains one unit from the center
+  EXPECT_DOUBLE_EQ(delta, 6.0);
+}
+
+}  // namespace
