@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig3_pingpong.dir/bench_fig3_pingpong.cpp.o"
+  "CMakeFiles/bench_fig3_pingpong.dir/bench_fig3_pingpong.cpp.o.d"
+  "bench_fig3_pingpong"
+  "bench_fig3_pingpong.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig3_pingpong.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig6_gups.dir/bench_fig6_gups.cpp.o"
+  "CMakeFiles/bench_fig6_gups.dir/bench_fig6_gups.cpp.o.d"
+  "bench_fig6_gups"
+  "bench_fig6_gups.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig6_gups.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig8_bfs.dir/bench_fig8_bfs.cpp.o"
+  "CMakeFiles/bench_fig8_bfs.dir/bench_fig8_bfs.cpp.o.d"
+  "bench_fig8_bfs"
+  "bench_fig8_bfs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig8_bfs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,43 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/apps/bfs_common.cpp" "src/CMakeFiles/dvx_apps.dir/apps/bfs_common.cpp.o" "gcc" "src/CMakeFiles/dvx_apps.dir/apps/bfs_common.cpp.o.d"
+  "/root/repo/src/apps/bfs_dv.cpp" "src/CMakeFiles/dvx_apps.dir/apps/bfs_dv.cpp.o" "gcc" "src/CMakeFiles/dvx_apps.dir/apps/bfs_dv.cpp.o.d"
+  "/root/repo/src/apps/bfs_mpi.cpp" "src/CMakeFiles/dvx_apps.dir/apps/bfs_mpi.cpp.o" "gcc" "src/CMakeFiles/dvx_apps.dir/apps/bfs_mpi.cpp.o.d"
+  "/root/repo/src/apps/fft1d_dv.cpp" "src/CMakeFiles/dvx_apps.dir/apps/fft1d_dv.cpp.o" "gcc" "src/CMakeFiles/dvx_apps.dir/apps/fft1d_dv.cpp.o.d"
+  "/root/repo/src/apps/fft1d_mpi.cpp" "src/CMakeFiles/dvx_apps.dir/apps/fft1d_mpi.cpp.o" "gcc" "src/CMakeFiles/dvx_apps.dir/apps/fft1d_mpi.cpp.o.d"
+  "/root/repo/src/apps/gups_dv.cpp" "src/CMakeFiles/dvx_apps.dir/apps/gups_dv.cpp.o" "gcc" "src/CMakeFiles/dvx_apps.dir/apps/gups_dv.cpp.o.d"
+  "/root/repo/src/apps/gups_mpi.cpp" "src/CMakeFiles/dvx_apps.dir/apps/gups_mpi.cpp.o" "gcc" "src/CMakeFiles/dvx_apps.dir/apps/gups_mpi.cpp.o.d"
+  "/root/repo/src/apps/heat_common.cpp" "src/CMakeFiles/dvx_apps.dir/apps/heat_common.cpp.o" "gcc" "src/CMakeFiles/dvx_apps.dir/apps/heat_common.cpp.o.d"
+  "/root/repo/src/apps/heat_dv.cpp" "src/CMakeFiles/dvx_apps.dir/apps/heat_dv.cpp.o" "gcc" "src/CMakeFiles/dvx_apps.dir/apps/heat_dv.cpp.o.d"
+  "/root/repo/src/apps/heat_mpi.cpp" "src/CMakeFiles/dvx_apps.dir/apps/heat_mpi.cpp.o" "gcc" "src/CMakeFiles/dvx_apps.dir/apps/heat_mpi.cpp.o.d"
+  "/root/repo/src/apps/snap_core.cpp" "src/CMakeFiles/dvx_apps.dir/apps/snap_core.cpp.o" "gcc" "src/CMakeFiles/dvx_apps.dir/apps/snap_core.cpp.o.d"
+  "/root/repo/src/apps/snap_dv.cpp" "src/CMakeFiles/dvx_apps.dir/apps/snap_dv.cpp.o" "gcc" "src/CMakeFiles/dvx_apps.dir/apps/snap_dv.cpp.o.d"
+  "/root/repo/src/apps/snap_mpi.cpp" "src/CMakeFiles/dvx_apps.dir/apps/snap_mpi.cpp.o" "gcc" "src/CMakeFiles/dvx_apps.dir/apps/snap_mpi.cpp.o.d"
+  "/root/repo/src/apps/transpose.cpp" "src/CMakeFiles/dvx_apps.dir/apps/transpose.cpp.o" "gcc" "src/CMakeFiles/dvx_apps.dir/apps/transpose.cpp.o.d"
+  "/root/repo/src/apps/vorticity_core.cpp" "src/CMakeFiles/dvx_apps.dir/apps/vorticity_core.cpp.o" "gcc" "src/CMakeFiles/dvx_apps.dir/apps/vorticity_core.cpp.o.d"
+  "/root/repo/src/apps/vorticity_dv.cpp" "src/CMakeFiles/dvx_apps.dir/apps/vorticity_dv.cpp.o" "gcc" "src/CMakeFiles/dvx_apps.dir/apps/vorticity_dv.cpp.o.d"
+  "/root/repo/src/apps/vorticity_mpi.cpp" "src/CMakeFiles/dvx_apps.dir/apps/vorticity_mpi.cpp.o" "gcc" "src/CMakeFiles/dvx_apps.dir/apps/vorticity_mpi.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/dvx_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dvx_kernels.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dvx_dvapi.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dvx_vic.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dvx_dvnet.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dvx_mpi.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dvx_ib.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dvx_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/dvapi/barrier.cpp" "src/CMakeFiles/dvx_dvapi.dir/dvapi/barrier.cpp.o" "gcc" "src/CMakeFiles/dvx_dvapi.dir/dvapi/barrier.cpp.o.d"
+  "/root/repo/src/dvapi/collectives.cpp" "src/CMakeFiles/dvx_dvapi.dir/dvapi/collectives.cpp.o" "gcc" "src/CMakeFiles/dvx_dvapi.dir/dvapi/collectives.cpp.o.d"
+  "/root/repo/src/dvapi/context.cpp" "src/CMakeFiles/dvx_dvapi.dir/dvapi/context.cpp.o" "gcc" "src/CMakeFiles/dvx_dvapi.dir/dvapi/context.cpp.o.d"
+  "/root/repo/src/dvapi/send.cpp" "src/CMakeFiles/dvx_dvapi.dir/dvapi/send.cpp.o" "gcc" "src/CMakeFiles/dvx_dvapi.dir/dvapi/send.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/dvx_vic.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dvx_dvnet.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dvx_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dvx_dvapi.dir/dvapi/barrier.cpp.o"
+  "CMakeFiles/dvx_dvapi.dir/dvapi/barrier.cpp.o.d"
+  "CMakeFiles/dvx_dvapi.dir/dvapi/collectives.cpp.o"
+  "CMakeFiles/dvx_dvapi.dir/dvapi/collectives.cpp.o.d"
+  "CMakeFiles/dvx_dvapi.dir/dvapi/context.cpp.o"
+  "CMakeFiles/dvx_dvapi.dir/dvapi/context.cpp.o.d"
+  "CMakeFiles/dvx_dvapi.dir/dvapi/send.cpp.o"
+  "CMakeFiles/dvx_dvapi.dir/dvapi/send.cpp.o.d"
+  "libdvx_dvapi.a"
+  "libdvx_dvapi.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dvx_dvapi.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

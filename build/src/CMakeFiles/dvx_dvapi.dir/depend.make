@@ -1,0 +1,2 @@
+# Empty dependencies file for dvx_dvapi.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/dvnet/cycle_switch.cpp" "src/CMakeFiles/dvx_dvnet.dir/dvnet/cycle_switch.cpp.o" "gcc" "src/CMakeFiles/dvx_dvnet.dir/dvnet/cycle_switch.cpp.o.d"
+  "/root/repo/src/dvnet/fabric_model.cpp" "src/CMakeFiles/dvx_dvnet.dir/dvnet/fabric_model.cpp.o" "gcc" "src/CMakeFiles/dvx_dvnet.dir/dvnet/fabric_model.cpp.o.d"
+  "/root/repo/src/dvnet/geometry.cpp" "src/CMakeFiles/dvx_dvnet.dir/dvnet/geometry.cpp.o" "gcc" "src/CMakeFiles/dvx_dvnet.dir/dvnet/geometry.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/dvx_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

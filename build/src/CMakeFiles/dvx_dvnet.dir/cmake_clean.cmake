@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dvx_dvnet.dir/dvnet/cycle_switch.cpp.o"
+  "CMakeFiles/dvx_dvnet.dir/dvnet/cycle_switch.cpp.o.d"
+  "CMakeFiles/dvx_dvnet.dir/dvnet/fabric_model.cpp.o"
+  "CMakeFiles/dvx_dvnet.dir/dvnet/fabric_model.cpp.o.d"
+  "CMakeFiles/dvx_dvnet.dir/dvnet/geometry.cpp.o"
+  "CMakeFiles/dvx_dvnet.dir/dvnet/geometry.cpp.o.d"
+  "libdvx_dvnet.a"
+  "libdvx_dvnet.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dvx_dvnet.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dvx_ib.dir/ib/topology.cpp.o"
+  "CMakeFiles/dvx_ib.dir/ib/topology.cpp.o.d"
+  "libdvx_ib.a"
+  "libdvx_ib.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dvx_ib.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/kernels/csr.cpp" "src/CMakeFiles/dvx_kernels.dir/kernels/csr.cpp.o" "gcc" "src/CMakeFiles/dvx_kernels.dir/kernels/csr.cpp.o.d"
+  "/root/repo/src/kernels/fft.cpp" "src/CMakeFiles/dvx_kernels.dir/kernels/fft.cpp.o" "gcc" "src/CMakeFiles/dvx_kernels.dir/kernels/fft.cpp.o.d"
+  "/root/repo/src/kernels/gups_table.cpp" "src/CMakeFiles/dvx_kernels.dir/kernels/gups_table.cpp.o" "gcc" "src/CMakeFiles/dvx_kernels.dir/kernels/gups_table.cpp.o.d"
+  "/root/repo/src/kernels/kronecker.cpp" "src/CMakeFiles/dvx_kernels.dir/kernels/kronecker.cpp.o" "gcc" "src/CMakeFiles/dvx_kernels.dir/kernels/kronecker.cpp.o.d"
+  "/root/repo/src/kernels/stencil.cpp" "src/CMakeFiles/dvx_kernels.dir/kernels/stencil.cpp.o" "gcc" "src/CMakeFiles/dvx_kernels.dir/kernels/stencil.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/dvx_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

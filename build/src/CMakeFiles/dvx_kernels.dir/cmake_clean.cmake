@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dvx_kernels.dir/kernels/csr.cpp.o"
+  "CMakeFiles/dvx_kernels.dir/kernels/csr.cpp.o.d"
+  "CMakeFiles/dvx_kernels.dir/kernels/fft.cpp.o"
+  "CMakeFiles/dvx_kernels.dir/kernels/fft.cpp.o.d"
+  "CMakeFiles/dvx_kernels.dir/kernels/gups_table.cpp.o"
+  "CMakeFiles/dvx_kernels.dir/kernels/gups_table.cpp.o.d"
+  "CMakeFiles/dvx_kernels.dir/kernels/kronecker.cpp.o"
+  "CMakeFiles/dvx_kernels.dir/kernels/kronecker.cpp.o.d"
+  "CMakeFiles/dvx_kernels.dir/kernels/stencil.cpp.o"
+  "CMakeFiles/dvx_kernels.dir/kernels/stencil.cpp.o.d"
+  "libdvx_kernels.a"
+  "libdvx_kernels.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dvx_kernels.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

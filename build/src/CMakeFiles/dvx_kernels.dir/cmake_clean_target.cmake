@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libdvx_kernels.a"
+)

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dvx_mpi.dir/mpi/collectives.cpp.o"
+  "CMakeFiles/dvx_mpi.dir/mpi/collectives.cpp.o.d"
+  "CMakeFiles/dvx_mpi.dir/mpi/comm.cpp.o"
+  "CMakeFiles/dvx_mpi.dir/mpi/comm.cpp.o.d"
+  "CMakeFiles/dvx_mpi.dir/mpi/p2p.cpp.o"
+  "CMakeFiles/dvx_mpi.dir/mpi/p2p.cpp.o.d"
+  "libdvx_mpi.a"
+  "libdvx_mpi.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dvx_mpi.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

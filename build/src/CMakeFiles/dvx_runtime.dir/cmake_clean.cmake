@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dvx_runtime.dir/runtime/cluster.cpp.o"
+  "CMakeFiles/dvx_runtime.dir/runtime/cluster.cpp.o.d"
+  "CMakeFiles/dvx_runtime.dir/runtime/report.cpp.o"
+  "CMakeFiles/dvx_runtime.dir/runtime/report.cpp.o.d"
+  "libdvx_runtime.a"
+  "libdvx_runtime.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dvx_runtime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

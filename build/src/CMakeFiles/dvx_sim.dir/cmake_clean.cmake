@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dvx_sim.dir/sim/engine.cpp.o"
+  "CMakeFiles/dvx_sim.dir/sim/engine.cpp.o.d"
+  "CMakeFiles/dvx_sim.dir/sim/stats.cpp.o"
+  "CMakeFiles/dvx_sim.dir/sim/stats.cpp.o.d"
+  "CMakeFiles/dvx_sim.dir/sim/sync.cpp.o"
+  "CMakeFiles/dvx_sim.dir/sim/sync.cpp.o.d"
+  "CMakeFiles/dvx_sim.dir/sim/trace.cpp.o"
+  "CMakeFiles/dvx_sim.dir/sim/trace.cpp.o.d"
+  "libdvx_sim.a"
+  "libdvx_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dvx_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

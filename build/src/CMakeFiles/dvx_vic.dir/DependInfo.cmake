@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/vic/dma.cpp" "src/CMakeFiles/dvx_vic.dir/vic/dma.cpp.o" "gcc" "src/CMakeFiles/dvx_vic.dir/vic/dma.cpp.o.d"
+  "/root/repo/src/vic/dv_memory.cpp" "src/CMakeFiles/dvx_vic.dir/vic/dv_memory.cpp.o" "gcc" "src/CMakeFiles/dvx_vic.dir/vic/dv_memory.cpp.o.d"
+  "/root/repo/src/vic/group_counters.cpp" "src/CMakeFiles/dvx_vic.dir/vic/group_counters.cpp.o" "gcc" "src/CMakeFiles/dvx_vic.dir/vic/group_counters.cpp.o.d"
+  "/root/repo/src/vic/pcie.cpp" "src/CMakeFiles/dvx_vic.dir/vic/pcie.cpp.o" "gcc" "src/CMakeFiles/dvx_vic.dir/vic/pcie.cpp.o.d"
+  "/root/repo/src/vic/surprise_fifo.cpp" "src/CMakeFiles/dvx_vic.dir/vic/surprise_fifo.cpp.o" "gcc" "src/CMakeFiles/dvx_vic.dir/vic/surprise_fifo.cpp.o.d"
+  "/root/repo/src/vic/vic.cpp" "src/CMakeFiles/dvx_vic.dir/vic/vic.cpp.o" "gcc" "src/CMakeFiles/dvx_vic.dir/vic/vic.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/dvx_dvnet.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dvx_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dvx_vic.dir/vic/dma.cpp.o"
+  "CMakeFiles/dvx_vic.dir/vic/dma.cpp.o.d"
+  "CMakeFiles/dvx_vic.dir/vic/dv_memory.cpp.o"
+  "CMakeFiles/dvx_vic.dir/vic/dv_memory.cpp.o.d"
+  "CMakeFiles/dvx_vic.dir/vic/group_counters.cpp.o"
+  "CMakeFiles/dvx_vic.dir/vic/group_counters.cpp.o.d"
+  "CMakeFiles/dvx_vic.dir/vic/pcie.cpp.o"
+  "CMakeFiles/dvx_vic.dir/vic/pcie.cpp.o.d"
+  "CMakeFiles/dvx_vic.dir/vic/surprise_fifo.cpp.o"
+  "CMakeFiles/dvx_vic.dir/vic/surprise_fifo.cpp.o.d"
+  "CMakeFiles/dvx_vic.dir/vic/vic.cpp.o"
+  "CMakeFiles/dvx_vic.dir/vic/vic.cpp.o.d"
+  "libdvx_vic.a"
+  "libdvx_vic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dvx_vic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

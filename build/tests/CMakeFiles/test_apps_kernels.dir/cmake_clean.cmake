@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_apps_kernels.dir/test_apps_kernels.cpp.o"
+  "CMakeFiles/test_apps_kernels.dir/test_apps_kernels.cpp.o.d"
+  "test_apps_kernels"
+  "test_apps_kernels.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_apps_kernels.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

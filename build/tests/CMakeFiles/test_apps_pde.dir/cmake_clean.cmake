@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_apps_pde.dir/test_apps_pde.cpp.o"
+  "CMakeFiles/test_apps_pde.dir/test_apps_pde.cpp.o.d"
+  "test_apps_pde"
+  "test_apps_pde.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_apps_pde.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

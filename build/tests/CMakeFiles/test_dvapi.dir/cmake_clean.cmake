@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_dvapi.dir/test_dvapi.cpp.o"
+  "CMakeFiles/test_dvapi.dir/test_dvapi.cpp.o.d"
+  "test_dvapi"
+  "test_dvapi.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_dvapi.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_dvnet.dir/test_dvnet.cpp.o"
+  "CMakeFiles/test_dvnet.dir/test_dvnet.cpp.o.d"
+  "test_dvnet"
+  "test_dvnet.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_dvnet.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

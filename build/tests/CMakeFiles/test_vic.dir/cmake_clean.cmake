@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_vic.dir/test_vic.cpp.o"
+  "CMakeFiles/test_vic.dir/test_vic.cpp.o.d"
+  "test_vic"
+  "test_vic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_vic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

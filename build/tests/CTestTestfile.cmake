@@ -1,0 +1,26 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(test_sim "/root/repo/build/tests/test_sim")
+set_tests_properties(test_sim PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;4;add_test;/root/repo/tests/CMakeLists.txt;7;dvx_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(test_dvnet "/root/repo/build/tests/test_dvnet")
+set_tests_properties(test_dvnet PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;4;add_test;/root/repo/tests/CMakeLists.txt;8;dvx_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(test_vic "/root/repo/build/tests/test_vic")
+set_tests_properties(test_vic PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;4;add_test;/root/repo/tests/CMakeLists.txt;9;dvx_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(test_dvapi "/root/repo/build/tests/test_dvapi")
+set_tests_properties(test_dvapi PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;4;add_test;/root/repo/tests/CMakeLists.txt;10;dvx_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(test_mpi "/root/repo/build/tests/test_mpi")
+set_tests_properties(test_mpi PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;4;add_test;/root/repo/tests/CMakeLists.txt;11;dvx_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(test_runtime "/root/repo/build/tests/test_runtime")
+set_tests_properties(test_runtime PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;4;add_test;/root/repo/tests/CMakeLists.txt;12;dvx_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(test_kernels "/root/repo/build/tests/test_kernels")
+set_tests_properties(test_kernels PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;4;add_test;/root/repo/tests/CMakeLists.txt;13;dvx_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(test_apps_kernels "/root/repo/build/tests/test_apps_kernels")
+set_tests_properties(test_apps_kernels PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;4;add_test;/root/repo/tests/CMakeLists.txt;14;dvx_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(test_apps_pde "/root/repo/build/tests/test_apps_pde")
+set_tests_properties(test_apps_pde PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;4;add_test;/root/repo/tests/CMakeLists.txt;15;dvx_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(test_integration "/root/repo/build/tests/test_integration")
+set_tests_properties(test_integration PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;4;add_test;/root/repo/tests/CMakeLists.txt;16;dvx_test;/root/repo/tests/CMakeLists.txt;0;")
