@@ -1,101 +1,8 @@
-// Ablation — how much the paper's "lessons learned" optimizations matter.
-//
-//  1. Source aggregation (GUPS): sweep the update-buffer size. Small
-//     buffers mean one PCIe DMA per few packets — the I/O latency is not
-//     amortized and the DV advantage collapses (paper §VI: batches "can be
-//     aggregated for transfer across the PCIe bus").
-//  2. Send-path choice (bulk puts): the same 64 KiB put issued through the
-//     three API paths — the DMA/Cached path is the only one that feeds the
-//     fabric at line rate (paper §V).
+// Legacy wrapper — this ablation now lives in the dvx::exp registry
+// (src/exp/workloads/ablation_aggregation.cpp). Equivalent to
+// `dvx_bench --figure ablation_aggregation`; kept so existing scripts and
+// EXPERIMENTS.md commands keep working.
 
-#include <iostream>
-#include <vector>
+#include "exp/driver.hpp"
 
-#include "apps/gups.hpp"
-#include "bench_util.hpp"
-#include "dvapi/collectives.hpp"
-#include "dvapi/context.hpp"
-
-namespace {
-
-namespace sim = dvx::sim;
-namespace vic = dvx::vic;
-namespace dvapi = dvx::dvapi;
-namespace runtime = dvx::runtime;
-using sim::Coro;
-
-double put_path_seconds(int which, std::int64_t words) {
-  auto cluster = dvx::bench::make_cluster(2);
-  double out = 0.0;
-  constexpr int kCtr = dvapi::kFirstFreeCounter;
-  cluster.run_dv([&](dvapi::DvContext& ctx, runtime::NodeCtx& node) -> Coro<void> {
-    if (ctx.rank() == 1) {
-      co_await ctx.counter_set_local(kCtr, static_cast<std::uint64_t>(words));
-    }
-    co_await ctx.barrier();
-    const sim::Time t0 = node.now();
-    if (ctx.rank() == 0) {
-      std::vector<vic::Packet> batch(static_cast<std::size_t>(words));
-      for (std::size_t i = 0; i < batch.size(); ++i) {
-        batch[i].header =
-            vic::Header{1, vic::DestKind::kDvMemory, static_cast<std::uint8_t>(kCtr),
-                        dvapi::kFirstFreeDvWord + static_cast<std::uint32_t>(i)};
-        batch[i].payload = i;
-      }
-      switch (which) {
-        case 0: co_await ctx.send_direct_batch(batch); break;
-        case 1: co_await ctx.send_cached_batch(batch); break;
-        default: co_await ctx.send_dma_batch(batch); break;
-      }
-    } else {
-      co_await ctx.counter_wait_zero(kCtr);
-      out = sim::to_seconds(node.now() - t0);
-    }
-    co_await ctx.barrier();
-  });
-  return out;
-}
-
-}  // namespace
-
-int main() {
-  using runtime::fmt;
-  runtime::figure_banner(std::cout, "Ablation — aggregation and send-path choices",
-                         "quantifies the paper's 'lessons learned'");
-  const bool fast = dvx::bench::fast_mode();
-
-  runtime::Table t1("GUPS-DV vs PCIe aggregation (16 nodes): update-buffer sweep",
-                    {"buffer (updates)", "aggregate MUPS", "vs 1024-buffer"});
-  {
-    double base = 0.0;
-    std::vector<int> buffers = {1024, 128, 16};
-    for (int buf : buffers) {
-      auto cluster = dvx::bench::make_cluster(16);
-      dvx::apps::GupsParams gp{.local_table_words = 1u << 14,
-                               .updates_per_node = fast ? (1u << 12) : (1u << 14),
-                               .buffer_limit = buf};
-      const auto res = dvx::apps::run_gups_dv(cluster, gp);
-      const double mups = res.gups() * 1e3;
-      if (buf == 1024) base = mups;
-      t1.row({std::to_string(buf), fmt(mups), fmt(mups / base)});
-    }
-  }
-  t1.print(std::cout);
-
-  runtime::Table t2("64 Ki-word put through each send path (receiver-visible time)",
-                    {"path", "time", "effective bandwidth"});
-  const std::int64_t words = 64 * 1024;
-  const char* names[3] = {"DWr/NoCached", "DWr/Cached", "DMA/Cached"};
-  for (int p = 0; p < 3; ++p) {
-    const double s = put_path_seconds(p, words);
-    t2.row({names[p], runtime::fmt_us(s * 1e6),
-            runtime::fmt_gbs(static_cast<double>(words * 8) / s)});
-  }
-  t2.print(std::cout);
-
-  std::cout << "\nreading: shrinking the source-side batch multiplies per-DMA\n"
-               "setup costs into the update stream; PIO paths cap at the PCIe\n"
-               "lane rate regardless of batching. Both effects motivate the\n"
-               "paper's 'aggregation at source' restructuring.\n";
-  return 0;
-}
+int main() { return dvx::exp::run_figures({"ablation_aggregation"}); }

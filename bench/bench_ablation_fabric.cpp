@@ -1,95 +1,8 @@
-// Ablation — cycle-accurate switch vs analytic fabric model (DESIGN.md §5).
-//
-// Applications run on the O(1)-per-burst FabricModel; this bench validates
-// that choice by comparing it against the cycle-accurate deflection-routing
-// simulator on the same offered traffic: uncontended latency, latency under
-// uniform load, and hotspot behaviour.
+// Legacy wrapper — this ablation now lives in the dvx::exp registry
+// (src/exp/workloads/ablation_fabric.cpp). Equivalent to
+// `dvx_bench --figure ablation_fabric`; kept so existing scripts and
+// EXPERIMENTS.md commands keep working.
 
-#include <iostream>
+#include "exp/driver.hpp"
 
-#include "bench_util.hpp"
-#include "dvnet/cycle_switch.hpp"
-#include "dvnet/fabric_model.hpp"
-#include "sim/rng.hpp"
-
-namespace {
-
-namespace sim = dvx::sim;
-namespace dvnet = dvx::dvnet;
-namespace runtime = dvx::runtime;
-
-struct LoadPoint {
-  double offered;
-  double cycle_latency;     // cycles, mean, cycle-accurate switch
-  double cycle_deflections; // mean deflections per packet
-  double analytic_latency;  // cycles, FabricModel equivalent
-};
-
-LoadPoint measure(double load, std::uint64_t cycles) {
-  dvnet::Geometry g{8, 4};
-  LoadPoint out{load, 0, 0, 0};
-  // Cycle-accurate measurement.
-  {
-    dvnet::CycleSwitch sw(g);
-    sim::Xoshiro256 rng(7);
-    for (std::uint64_t c = 0; c < cycles; ++c) {
-      for (int p = 0; p < g.ports(); ++p) {
-        if (rng.uniform() < load) {
-          sw.inject(p, static_cast<int>(rng.below(static_cast<std::uint64_t>(g.ports()))));
-        }
-      }
-      sw.step();
-    }
-    sw.drain(10'000'000);
-    out.cycle_latency = sw.latency_stats().mean();
-    out.cycle_deflections = sw.deflection_stats().mean();
-  }
-  // Analytic equivalent: same per-port word rate; latency in cycle units.
-  {
-    dvnet::FabricParams fp{.geometry = g};
-    dvnet::FabricModel fm(fp);
-    sim::Xoshiro256 rng(7);
-    sim::RunningStats lat;
-    sim::Time now = 0;
-    const auto word = fm.word_time();
-    for (std::uint64_t c = 0; c < cycles; ++c) {
-      for (int p = 0; p < g.ports(); ++p) {
-        if (rng.uniform() < load) {
-          const auto t = fm.send_burst(
-              p, static_cast<int>(rng.below(static_cast<std::uint64_t>(g.ports()))), 1,
-              now);
-          lat.add(static_cast<double>(t.first_arrival - now) / static_cast<double>(word));
-        }
-      }
-      now += word;
-    }
-    out.analytic_latency = lat.mean();
-  }
-  return out;
-}
-
-}  // namespace
-
-int main() {
-  using runtime::fmt;
-  runtime::figure_banner(std::cout, "Ablation — cycle-accurate switch vs analytic model",
-                         "validates running applications on the O(1) FabricModel");
-  const std::uint64_t cycles = dvx::bench::fast_mode() ? 400 : 2000;
-  runtime::Table t("uniform random traffic, 32-port (H=8, A=4) switch",
-                   {"offered load", "cycle lat (cyc)", "defl/pkt", "analytic lat (cyc)",
-                    "ratio"});
-  for (double load : {0.02, 0.05, 0.10, 0.15, 0.20}) {
-    const auto p = measure(load, cycles);
-    t.row({fmt(p.offered), fmt(p.cycle_latency, 1), fmt(p.cycle_deflections),
-           fmt(p.analytic_latency, 1), fmt(p.analytic_latency / p.cycle_latency)});
-  }
-  t.print(std::cout);
-  std::cout <<
-      "\nreading: below saturation (~0.2 packets/port/fabric-cycle) the analytic\n"
-      "model tracks the cycle-accurate switch within tens of percent while being\n"
-      "orders of magnitude cheaper; in-fabric latency stays flat under load\n"
-      "(deflection smoothing), which is what the constant-plus-penalty analytic\n"
-      "form assumes. Applications never drive the per-port word rate past the\n"
-      "PCIe-limited injection rates, so they sit in the validated regime.\n";
-  return 0;
-}
+int main() { return dvx::exp::run_figures({"ablation_fabric"}); }

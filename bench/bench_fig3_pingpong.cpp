@@ -1,138 +1,7 @@
-// Figure 3 — ping-pong network bandwidth vs message size (paper §V).
-//
-// Reproduces both panels: (a) absolute bandwidth for the three Data Vortex
-// send paths (DWr/NoCached, DWr/Cached, DMA/Cached) and MPI-over-IB;
-// (b) the same as a percentage of each network's nominal peak (DV 4.4 GB/s,
-// IB 6.8 GB/s). Paper anchors: DV DMA reaches 99.4% of peak at 256 Ki
-// words; IB reaches only ~72%; direct writes plateau at the 0.5 GB/s PCIe
-// lane limit; IB leads in the 32-128-word range and beyond 512 words.
+// Legacy wrapper — Figure 3 now lives in the dvx::exp registry
+// (src/exp/workloads/pingpong.cpp). Equivalent to `dvx_bench --figure fig3`;
+// kept so existing scripts and EXPERIMENTS.md commands keep working.
 
-#include <iostream>
-#include <vector>
+#include "exp/driver.hpp"
 
-#include "bench_util.hpp"
-#include "dvapi/collectives.hpp"
-#include "dvapi/context.hpp"
-#include "mpi/comm.hpp"
-
-namespace {
-
-namespace sim = dvx::sim;
-namespace vic = dvx::vic;
-namespace dvapi = dvx::dvapi;
-namespace runtime = dvx::runtime;
-using dvx::bench::make_cluster;
-using sim::Coro;
-
-enum class Path { kDirect, kCached, kDma, kMpi };
-
-/// One-way bandwidth of a ping-pong with `words`-word messages.
-double pingpong_bw(Path path, std::int64_t words, int reps) {
-  auto cluster = make_cluster(2);
-  double out = 0.0;
-  constexpr int kCtr = dvapi::kFirstFreeCounter;
-
-  if (path == Path::kMpi) {
-    cluster.run_mpi([&](dvx::mpi::Comm comm, runtime::NodeCtx& node) -> Coro<void> {
-      std::vector<std::uint64_t> payload(static_cast<std::size_t>(words), 7);
-      co_await comm.barrier();
-      const sim::Time t0 = node.now();
-      for (int r = 0; r < reps; ++r) {
-        if (comm.rank() == 0) {
-          co_await comm.send(1, 0, payload);
-          auto back = co_await comm.recv(1, 1);
-          payload = std::move(back.data);
-        } else {
-          auto msg = co_await comm.recv(0, 0);
-          co_await comm.send(0, 1, std::move(msg.data));
-        }
-      }
-      if (comm.rank() == 0) {
-        const double rtts = sim::to_seconds(node.now() - t0) / reps;
-        out = static_cast<double>(words * 8) / (rtts / 2.0);
-      }
-    });
-    return out;
-  }
-
-  cluster.run_dv([&](dvapi::DvContext& ctx, runtime::NodeCtx& node) -> Coro<void> {
-    const int peer = 1 - ctx.rank();
-    std::vector<vic::Packet> batch(static_cast<std::size_t>(words));
-    for (std::size_t i = 0; i < batch.size(); ++i) {
-      batch[i].header = vic::Header{static_cast<std::uint16_t>(peer),
-                                    vic::DestKind::kDvMemory,
-                                    static_cast<std::uint8_t>(kCtr),
-                                    dvapi::kFirstFreeDvWord + static_cast<std::uint32_t>(i)};
-      batch[i].payload = i;
-    }
-    auto send_one = [&]() -> Coro<void> {
-      switch (path) {
-        case Path::kDirect: co_await ctx.send_direct_batch(batch); break;
-        case Path::kCached: co_await ctx.send_cached_batch(batch); break;
-        default: co_await ctx.send_dma_batch(batch); break;
-      }
-    };
-    co_await ctx.counter_set_local(kCtr, static_cast<std::uint64_t>(words));
-    co_await ctx.barrier();
-    const sim::Time t0 = node.now();
-    for (int r = 0; r < reps; ++r) {
-      if (ctx.rank() == 0) {
-        co_await send_one();
-        co_await ctx.counter_wait_zero(kCtr);
-        co_await ctx.counter_set_local(kCtr, static_cast<std::uint64_t>(words));
-        // Copy the received words back to host memory (paper's rule: the
-        // whole message must land in host memory each hop). Multi-buffered:
-        // the drain DMA overlaps the next iteration's traffic; successive
-        // drains queue on the engine, so sustained rates stay honest.
-        std::vector<std::uint64_t> host(static_cast<std::size_t>(words));
-        ctx.dma_read_dv_async(dvapi::kFirstFreeDvWord, host);
-      } else {
-        co_await ctx.counter_wait_zero(kCtr);
-        co_await ctx.counter_set_local(kCtr, static_cast<std::uint64_t>(words));
-        std::vector<std::uint64_t> host(static_cast<std::size_t>(words));
-        ctx.dma_read_dv_async(dvapi::kFirstFreeDvWord, host);
-        co_await send_one();
-      }
-    }
-    if (ctx.rank() == 0) {
-      const double rtts = sim::to_seconds(node.now() - t0) / reps;
-      out = static_cast<double>(words * 8) / (rtts / 2.0);
-    }
-    co_await ctx.barrier();
-  });
-  return out;
-}
-
-}  // namespace
-
-int main() {
-  using dvx::runtime::fmt;
-  runtime::figure_banner(std::cout, "Figure 3 — ping-pong bandwidth vs message size",
-                         "DV DMA/Cached hits 99.4% of 4.4 GB/s at 256Ki words; IB ~72% "
-                         "of 6.8 GB/s; direct writes capped by the 0.5 GB/s PCIe lane");
-  const int max_log = dvx::bench::fast_mode() ? 14 : 18;
-  const int reps = 3;
-
-  runtime::Table abs("Fig 3a — absolute ping-pong bandwidth (GB/s)",
-                     {"words", "DWr/NoCached", "DWr/Cached", "DMA/Cached", "MPI"});
-  runtime::Table rel("Fig 3b — percentage of nominal peak bandwidth",
-                     {"words", "DWr/NoCached", "DWr/Cached", "DMA/Cached", "MPI"});
-  for (int lg = 0; lg <= max_log; lg += 2) {
-    const std::int64_t words = 1LL << lg;
-    const double d = pingpong_bw(Path::kDirect, words, reps);
-    const double c = pingpong_bw(Path::kCached, words, reps);
-    const double m = pingpong_bw(Path::kDma, words, reps);
-    const double i = pingpong_bw(Path::kMpi, words, reps);
-    abs.row({std::to_string(words), fmt(d / 1e9, 3), fmt(c / 1e9, 3), fmt(m / 1e9, 3),
-             fmt(i / 1e9, 3)});
-    const double dvp = dvx::runtime::paper::kDvPeakBw;
-    const double ibp = dvx::runtime::paper::kIbPeakBw;
-    rel.row({std::to_string(words), fmt(100 * d / dvp, 1), fmt(100 * c / dvp, 1),
-             fmt(100 * m / dvp, 1), fmt(100 * i / ibp, 1)});
-  }
-  abs.print(std::cout);
-  rel.print(std::cout);
-  std::cout << "\npaper anchors: DV DMA 99.4% @256Ki words; IB ~72% @256Ki words;\n"
-               "direct-write plateau ~0.5 GB/s; IB leads for 32-128 and >512 words.\n";
-  return 0;
-}
+int main() { return dvx::exp::run_figures({"fig3"}); }

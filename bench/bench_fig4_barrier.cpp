@@ -1,75 +1,7 @@
-// Figure 4 — global-barrier latency at scale (paper §V).
-//
-// Three implementations: the Data Vortex API intrinsic (two reserved group
-// counters, completed inside the VICs — nearly flat in node count), the
-// in-house all-to-all "FastBarrier", and MPI over InfiniBand (grows
-// markedly with node count; ~13 us at 32 nodes in the paper).
+// Legacy wrapper — Figure 4 now lives in the dvx::exp registry
+// (src/exp/workloads/barrier.cpp). Equivalent to `dvx_bench --figure fig4`;
+// kept so existing scripts and EXPERIMENTS.md commands keep working.
 
-#include <iostream>
+#include "exp/driver.hpp"
 
-#include "bench_util.hpp"
-#include "dvapi/context.hpp"
-#include "mpi/comm.hpp"
-
-namespace {
-
-namespace sim = dvx::sim;
-namespace runtime = dvx::runtime;
-using dvx::bench::make_cluster;
-using sim::Coro;
-
-constexpr int kReps = 10;
-
-double dv_barrier_us(int nodes, bool fast_barrier) {
-  auto cluster = make_cluster(nodes);
-  double out = 0.0;
-  cluster.run_dv([&](dvx::dvapi::DvContext& ctx, runtime::NodeCtx& node) -> Coro<void> {
-    // Warm-up (priming for FastBarrier), then timed repetitions.
-    if (fast_barrier) {
-      co_await ctx.fast_barrier();
-    } else {
-      co_await ctx.barrier();
-    }
-    const sim::Time t0 = node.now();
-    for (int r = 0; r < kReps; ++r) {
-      if (fast_barrier) {
-        co_await ctx.fast_barrier();
-      } else {
-        co_await ctx.barrier();
-      }
-    }
-    if (ctx.rank() == 0) out = sim::to_us(node.now() - t0) / kReps;
-  });
-  return out;
-}
-
-double mpi_barrier_us(int nodes) {
-  auto cluster = make_cluster(nodes);
-  double out = 0.0;
-  cluster.run_mpi([&](dvx::mpi::Comm comm, runtime::NodeCtx& node) -> Coro<void> {
-    co_await comm.barrier();
-    const sim::Time t0 = node.now();
-    for (int r = 0; r < kReps; ++r) co_await comm.barrier();
-    if (comm.rank() == 0) out = sim::to_us(node.now() - t0) / kReps;
-  });
-  return out;
-}
-
-}  // namespace
-
-int main() {
-  using dvx::runtime::fmt;
-  runtime::figure_banner(std::cout, "Figure 4 — global barrier latency at scale",
-                         "DV barrier nearly flat (~1 us); MPI/IB grows to ~13 us at 32 "
-                         "nodes");
-  runtime::Table t("Fig 4 — barrier latency (us) vs nodes",
-                   {"nodes", "Data Vortex", "FastBarrier", "Infiniband"});
-  for (int n : dvx::bench::paper_node_counts()) {
-    t.row({std::to_string(n), fmt(dv_barrier_us(n, false)), fmt(dv_barrier_us(n, true)),
-           fmt(mpi_barrier_us(n))});
-  }
-  t.print(std::cout);
-  std::cout << "\npaper anchors: DV nearly constant with node count; MPI rises\n"
-               "steeply past 8 nodes, reaching low-teens of microseconds at 32.\n";
-  return 0;
-}
+int main() { return dvx::exp::run_figures({"fig4"}); }

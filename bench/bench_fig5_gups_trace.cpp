@@ -1,82 +1,7 @@
-// Figure 5 — GUPS execution trace (paper §VI).
-//
-// The paper instruments the HPCC MPI GUPS with Extrae and shows (a) the
-// whole run and (b) a zoom: computation interleaved with MPI exchanges and
-// message lines with "no exploitable regularity for aggregating messages
-// directed to the same destination". This bench reproduces the trace with
-// the built-in tracer: an ASCII timeline, per-state time breakdown, and a
-// destination-regularity statistic (1.0 = perfectly aggregatable, ~1/(P-1)
-// = uniformly scattered). The full trace is also written as CSV.
+// Legacy wrapper — Figure 5 now lives in the dvx::exp registry
+// (src/exp/workloads/gups_trace.cpp). Equivalent to `dvx_bench --figure fig5`;
+// kept so existing scripts and EXPERIMENTS.md commands keep working.
 
-#include <iostream>
+#include "exp/driver.hpp"
 
-#include <algorithm>
-#include <array>
-
-#include "apps/gups.hpp"
-#include "kernels/gups_table.hpp"
-#include "bench_util.hpp"
-
-namespace runtime = dvx::runtime;
-namespace sim = dvx::sim;
-
-int main() {
-  runtime::figure_banner(std::cout, "Figure 5 — GUPS execution trace (MPI/IB, 8 nodes)",
-                         "computation (blue in the paper) interleaved with MPI; "
-                         "messages show no destination regularity");
-  const bool fast = dvx::bench::fast_mode();
-  runtime::Cluster cluster(runtime::ClusterConfig{.nodes = 8, .trace = true});
-  dvx::apps::GupsParams gp{.local_table_words = 1u << 14,
-                           .updates_per_node = fast ? (1u << 12) : (1u << 14)};
-  dvx::apps::run_gups_mpi(cluster, gp);
-
-  const auto& tracer = cluster.tracer();
-  std::cout << "\n-- execution timeline (Fig 5a analogue) --\n"
-            << tracer.ascii_timeline(100);
-
-  std::cout << "\n-- per-node state breakdown --\n";
-  for (const auto& [node, summary] : tracer.state_summary()) {
-    std::cout << "node " << node << ":";
-    for (int s = 0; s < 5; ++s) {
-      std::cout << "  " << sim::to_string(static_cast<sim::NodeState>(s)) << "="
-                << runtime::fmt(100.0 * summary.fraction(static_cast<sim::NodeState>(s)), 1)
-                << "%";
-    }
-    std::cout << "\n";
-  }
-
-  std::cout << "\n-- message statistics (Fig 5b analogue) --\n";
-  std::cout << "messages traced:        " << tracer.messages().size() << "\n";
-  const double reg = tracer.destination_regularity(16);
-  std::cout << "destination regularity: " << runtime::fmt(reg, 3)
-            << "  (1.0 = aggregatable by destination; "
-            << runtime::fmt(1.0 / 7.0, 3) << " = uniform scatter over 7 peers)\n";
-
-  // Update-level irregularity, independent of how the runtime batches them:
-  // the fraction of a 1024-update HPCC bucket aimed at the most popular of
-  // the 7 remote nodes.
-  {
-    std::uint64_t a = dvx::kernels::gups_start(0);
-    double acc = 0.0;
-    const int kWindows = 64;
-    for (int w = 0; w < kWindows; ++w) {
-      std::array<int, 8> count{};
-      for (int i = 0; i < 1024; ++i) {
-        a = dvx::kernels::gups_next(a);
-        ++count[static_cast<std::size_t>(
-            dvx::kernels::gups_target(a, 8, gp.local_table_words).owner)];
-      }
-      acc += *std::max_element(count.begin(), count.end()) / 1024.0;
-    }
-    std::cout << "update-level regularity: " << runtime::fmt(acc / kWindows, 3)
-              << "  (HPCC rule caps buffering at 1024 updates, so no\n"
-                 "                         destination accumulates a useful batch)\n";
-  }
-
-  const std::string csv = "fig5_gups_trace.csv";
-  tracer.write_csv(csv);
-  std::cout << "full trace written to " << csv << "\n";
-  std::cout << "\npaper anchor: the zoomed trace shows messages to ever-changing\n"
-               "destinations — exactly the low regularity measured above.\n";
-  return 0;
-}
+int main() { return dvx::exp::run_figures({"fig5"}); }

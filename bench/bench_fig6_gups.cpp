@@ -1,44 +1,7 @@
-// Figure 6 — GUPS at scale (paper §VI).
-//
-// (a) updates per second per processing element: ideally flat under weak
-// scaling; the MPI/IB implementation declines steadily from 4 to 32 nodes
-// while the Data Vortex implementation stays roughly flat.
-// (b) aggregate MUPS: DV far above IB, with the gap widening with nodes.
+// Legacy wrapper — Figure 6 now lives in the dvx::exp registry
+// (src/exp/workloads/gups.cpp). Equivalent to `dvx_bench --figure fig6`;
+// kept so existing scripts and EXPERIMENTS.md commands keep working.
 
-#include <iostream>
+#include "exp/driver.hpp"
 
-#include "apps/gups.hpp"
-#include "bench_util.hpp"
-
-namespace runtime = dvx::runtime;
-
-int main() {
-  using runtime::fmt;
-  runtime::figure_banner(std::cout, "Figure 6 — GUPS (weak scaling, 1024-update buffers)",
-                         "DV per-PE rate ~flat; IB declines with node count; aggregate "
-                         "gap widens");
-  const bool fast = dvx::bench::fast_mode();
-  dvx::apps::GupsParams gp{
-      .local_table_words = 1u << 16,
-      .updates_per_node = fast ? (1u << 13) : (1u << 16),
-  };
-
-  runtime::Table per_pe("Fig 6a — updates per second per PE (MUPS)",
-                        {"nodes", "Data Vortex", "Infiniband"});
-  runtime::Table agg("Fig 6b — aggregated updates per second (MUPS)",
-                     {"nodes", "Data Vortex", "Infiniband", "DV/IB"});
-  for (int n : dvx::bench::paper_node_counts(4)) {
-    auto cluster = dvx::bench::make_cluster(n);
-    const auto dv = dvx::apps::run_gups_dv(cluster, gp);
-    const auto ib = dvx::apps::run_gups_mpi(cluster, gp);
-    per_pe.row({std::to_string(n), fmt(dv.mups_per_pe(n)), fmt(ib.mups_per_pe(n))});
-    agg.row({std::to_string(n), fmt(dv.gups() * 1e3), fmt(ib.gups() * 1e3),
-             fmt(dv.gups() / ib.gups())});
-  }
-  per_pe.print(std::cout);
-  agg.print(std::cout);
-  std::cout << "\npaper anchors: IB per-PE MUPS decrease steadily 4 -> 32 nodes;\n"
-               "DV stays ~constant (small dip 4 -> 8); the aggregate gap grows\n"
-               "with node count.\n";
-  return 0;
-}
+int main() { return dvx::exp::run_figures({"fig6"}); }

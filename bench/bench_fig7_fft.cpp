@@ -1,38 +1,7 @@
-// Figure 7 — distributed FFT-1D aggregate GFLOPS (paper §VI).
-//
-// Six-step 1-D FFT; the three distributed transposes carry all of the
-// communication. The Data Vortex folds the redistribution into the network
-// operation (scatter into VIC memory with cached headers); MPI packs,
-// alltoalls, and unpacks. Paper: DV above IB with a gap that widens with
-// node count. (Paper size 2^33 points; reproduction default 2^20.)
+// Legacy wrapper — Figure 7 now lives in the dvx::exp registry
+// (src/exp/workloads/fft1d.cpp). Equivalent to `dvx_bench --figure fig7`;
+// kept so existing scripts and EXPERIMENTS.md commands keep working.
 
-#include <iostream>
+#include "exp/driver.hpp"
 
-#include "apps/fft1d.hpp"
-#include "bench_util.hpp"
-
-namespace runtime = dvx::runtime;
-
-int main() {
-  using runtime::fmt;
-  const bool fast = dvx::bench::fast_mode();
-  const int log_size = fast ? 16 : 20;
-  runtime::figure_banner(std::cout, "Figure 7 — FFT-1D aggregate GFLOPS",
-                         "DV wins and the gap widens with nodes (paper ran 2^33 points; "
-                         "this run uses 2^" + std::to_string(log_size) + ")");
-  dvx::apps::FftParams fp{.log_size = log_size};
-
-  runtime::Table t("Fig 7 — aggregate GFLOPS vs nodes",
-                   {"nodes", "Data Vortex", "Infiniband", "DV/IB"});
-  for (int n : dvx::bench::paper_node_counts()) {
-    auto cluster = dvx::bench::make_cluster(n);
-    const auto dv = dvx::apps::run_fft_dv(cluster, fp);
-    const auto ib = dvx::apps::run_fft_mpi(cluster, fp);
-    t.row({std::to_string(n), fmt(dv.gflops()), fmt(ib.gflops()),
-           fmt(dv.gflops() / ib.gflops())});
-  }
-  t.print(std::cout);
-  std::cout << "\npaper anchors: both curves rise with node count; DV consistently\n"
-               "above IB and the DV/IB ratio grows with nodes.\n";
-  return 0;
-}
+int main() { return dvx::exp::run_figures({"fig7"}); }

@@ -1,39 +1,7 @@
-// Figure 8 — Graph500 BFS harmonic-mean TEPS (paper §VI).
-//
-// Kronecker graph, level-synchronous BFS over multiple random roots.
-// MPI aggregates candidates per destination (alltoall); the Data Vortex
-// streams single-packet candidates with source-only aggregation. Paper:
-// DV consistently above IB, gap widening with nodes. (Paper runs 64
-// searches on the largest graph that fits; reproduction scales down.)
+// Legacy wrapper — Figure 8 now lives in the dvx::exp registry
+// (src/exp/workloads/bfs.cpp). Equivalent to `dvx_bench --figure fig8`;
+// kept so existing scripts and EXPERIMENTS.md commands keep working.
 
-#include <iostream>
+#include "exp/driver.hpp"
 
-#include "apps/bfs.hpp"
-#include "bench_util.hpp"
-
-namespace runtime = dvx::runtime;
-
-int main() {
-  using runtime::fmt;
-  const bool fast = dvx::bench::fast_mode();
-  runtime::figure_banner(std::cout, "Figure 8 — BFS harmonic-mean TEPS (Graph500)",
-                         "DV consistently above IB; the gap widens with node count");
-  dvx::apps::BfsParams bp{.scale = fast ? 13 : 15,
-                          .edge_factor = 16,
-                          .searches = fast ? 2 : 4};
-
-  runtime::Table t("Fig 8 — harmonic-mean MTEPS vs nodes",
-                   {"nodes", "Data Vortex", "Infiniband", "DV/IB"});
-  for (int n : dvx::bench::paper_node_counts()) {
-    auto cluster = dvx::bench::make_cluster(n);
-    const auto dv = dvx::apps::run_bfs_dv(cluster, bp);
-    const auto ib = dvx::apps::run_bfs_mpi(cluster, bp);
-    t.row({std::to_string(n), fmt(dv.harmonic_mean_teps / 1e6),
-           fmt(ib.harmonic_mean_teps / 1e6),
-           fmt(dv.harmonic_mean_teps / ib.harmonic_mean_teps)});
-  }
-  t.print(std::cout);
-  std::cout << "\npaper anchors: DV TEPS above IB at every node count, and the\n"
-               "DV/IB ratio grows as nodes are added.\n";
-  return 0;
-}
+int main() { return dvx::exp::run_figures({"fig8"}); }

@@ -4,6 +4,7 @@
 #include <cstdlib>
 #include <iostream>
 #include <string>
+#include <vector>
 
 #include "runtime/cluster.hpp"
 #include "runtime/constants.hpp"

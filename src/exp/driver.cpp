@@ -1,0 +1,238 @@
+#include "exp/driver.hpp"
+
+#include <cstdint>
+#include <exception>
+#include <iostream>
+#include <sstream>
+#include <string_view>
+
+#include "exp/workload.hpp"
+
+namespace dvx::exp {
+namespace {
+
+void print_usage(std::ostream& os) {
+  os << "dvx_bench — unified driver for every paper-figure reproduction\n"
+        "\n"
+        "usage:\n"
+        "  dvx_bench --list                      describe the registered workloads\n"
+        "  dvx_bench --figure fig6[,fig7,...]    run specific figures (tag or name)\n"
+        "  dvx_bench --all                       run every registered workload\n"
+        "\n"
+        "options:\n"
+        "  --nodes 4,8,16,32    override the node sweep (figures with a sweep)\n"
+        "  --fast               shrink problem sizes (same as DVX_BENCH_FAST=1)\n"
+        "  --seed N             override the RNG seed (workloads that use one)\n"
+        "  --json PATH          also write the combined JSON document to PATH\n"
+        "  --no-figure-json     skip the per-figure BENCH_<figure>.json files\n"
+        "  --help               this text\n"
+        "\n"
+        "Every run prints the paper-figure tables and, unless suppressed, writes\n"
+        "one BENCH_<figure>.json per figure (schema: DESIGN.md §6).\n";
+}
+
+std::vector<std::string> split_csv(std::string_view s) {
+  std::vector<std::string> out;
+  std::string cur;
+  for (char ch : s) {
+    if (ch == ',') {
+      if (!cur.empty()) out.push_back(std::move(cur));
+      cur.clear();
+    } else {
+      cur.push_back(ch);
+    }
+  }
+  if (!cur.empty()) out.push_back(std::move(cur));
+  return out;
+}
+
+void print_list(std::ostream& os) {
+  runtime::Table t("registered workloads", {"figure", "name", "default nodes", "metrics"});
+  for (const auto* w : Registry::instance().all()) {
+    std::ostringstream nodes;
+    const auto ns = w->default_nodes(false);
+    for (std::size_t i = 0; i < ns.size(); ++i) nodes << (i ? "," : "") << ns[i];
+    std::ostringstream metrics;
+    const auto ms = w->metric_specs();
+    for (std::size_t i = 0; i < ms.size(); ++i) metrics << (i ? "," : "") << ms[i].key;
+    t.row({w->figure(), w->name(), nodes.str(), metrics.str()});
+  }
+  t.print(os);
+  os << "\nparameters (full / fast defaults):\n";
+  for (const auto* w : Registry::instance().all()) {
+    os << "  " << w->figure() << " (" << w->name() << "):\n";
+    for (const auto& p : w->param_specs()) {
+      os << "    " << p.key << " = " << p.full_value << " / " << p.fast_value << "  — "
+         << p.description << "\n";
+    }
+  }
+}
+
+struct CliOptions {
+  bool list = false;
+  bool all = false;
+  std::vector<std::string> figures;
+  RunOptions run;
+  std::string json_path;
+  bool figure_json = true;
+};
+
+/// Returns true on success; on failure prints the problem and returns false.
+bool parse_args(int argc, const char* const* argv, CliOptions& opt, std::ostream& err) {
+  auto need_value = [&](int& i, std::string_view flag) -> const char* {
+    if (i + 1 >= argc) {
+      err << "dvx_bench: " << flag << " requires a value\n";
+      return nullptr;
+    }
+    return argv[++i];
+  };
+  for (int i = 1; i < argc; ++i) {
+    const std::string_view arg = argv[i];
+    if (arg == "--list") {
+      opt.list = true;
+    } else if (arg == "--all") {
+      opt.all = true;
+    } else if (arg == "--fast") {
+      opt.run.fast = true;
+    } else if (arg == "--no-figure-json") {
+      opt.figure_json = false;
+    } else if (arg == "--figure") {
+      const char* v = need_value(i, arg);
+      if (!v) return false;
+      for (auto& f : split_csv(v)) {
+        if (f == "all") {
+          opt.all = true;
+        } else {
+          opt.figures.push_back(std::move(f));
+        }
+      }
+    } else if (arg == "--nodes") {
+      const char* v = need_value(i, arg);
+      if (!v) return false;
+      for (const auto& n : split_csv(v)) {
+        try {
+          opt.run.nodes.push_back(std::stoi(n));
+        } catch (const std::exception&) {
+          err << "dvx_bench: bad --nodes value '" << n << "'\n";
+          return false;
+        }
+        if (opt.run.nodes.back() < 2) {
+          err << "dvx_bench: --nodes values must be >= 2\n";
+          return false;
+        }
+      }
+    } else if (arg == "--seed") {
+      const char* v = need_value(i, arg);
+      if (!v) return false;
+      try {
+        opt.run.seed = std::stoull(v);
+      } catch (const std::exception&) {
+        err << "dvx_bench: bad --seed value '" << v << "'\n";
+        return false;
+      }
+    } else if (arg == "--json") {
+      const char* v = need_value(i, arg);
+      if (!v) return false;
+      opt.json_path = v;
+    } else if (arg == "--help" || arg == "-h") {
+      print_usage(err);
+      opt.list = false;
+      opt.all = false;
+      opt.figures.clear();
+      opt.json_path.clear();
+      return true;
+    } else {
+      err << "dvx_bench: unknown argument '" << arg << "'\n";
+      return false;
+    }
+  }
+  return true;
+}
+
+int run_with(CliOptions opt) {
+  std::ostream& os = opt.run.out ? *opt.run.out : std::cout;
+  if (opt.list) {
+    print_list(os);
+    return 0;
+  }
+
+  std::vector<const Workload*> selected;
+  if (opt.all) {
+    selected = Registry::instance().all();
+  } else {
+    for (const auto& f : opt.figures) {
+      const Workload* w = Registry::instance().find(f);
+      if (!w) {
+        std::cerr << "dvx_bench: unknown figure or workload '" << f
+                  << "' (try --list)\n";
+        return 2;
+      }
+      selected.push_back(w);
+    }
+  }
+  if (selected.empty()) {
+    print_usage(std::cerr);
+    return 2;
+  }
+
+  if (!opt.run.fast) opt.run.fast = fast_mode_env();
+
+  runtime::ResultSink sink;
+  sink.fast = opt.run.fast;
+  sink.seed = opt.run.seed;
+  int failures = 0;
+  for (const auto* w : selected) {
+    try {
+      w->run(opt.run, sink);
+    } catch (const std::exception& e) {
+      std::cerr << "dvx_bench: " << w->figure() << " failed: " << e.what() << "\n";
+      ++failures;
+      continue;
+    }
+    if (opt.figure_json) {
+      if (sink.write_figure_file(w->figure())) {
+        os << "\n[dvx_bench] wrote BENCH_" << w->figure() << ".json\n";
+      } else {
+        std::cerr << "dvx_bench: could not write BENCH_" << w->figure() << ".json\n";
+        ++failures;
+      }
+    }
+  }
+  if (!opt.json_path.empty()) {
+    if (sink.write_file(opt.json_path)) {
+      os << "[dvx_bench] wrote " << opt.json_path << " (" << sink.records().size()
+         << " records, " << sink.anchors().size() << " anchors)\n";
+    } else {
+      std::cerr << "dvx_bench: could not write " << opt.json_path << "\n";
+      ++failures;
+    }
+  }
+  return failures == 0 ? 0 : 1;
+}
+
+}  // namespace
+
+int run_cli(int argc, const char* const* argv) {
+  CliOptions opt;
+  if (!parse_args(argc, argv, opt, std::cerr)) return 2;
+  if (!opt.list && !opt.all && opt.figures.empty() && opt.json_path.empty()) {
+    // `--help`, or no selection at all: parse_args already printed usage for
+    // --help; print it here for the bare invocation.
+    bool was_help = false;
+    for (int i = 1; i < argc; ++i) {
+      const std::string_view a = argv[i];
+      if (a == "--help" || a == "-h") was_help = true;
+    }
+    if (!was_help) print_usage(std::cerr);
+    return was_help ? 0 : 2;
+  }
+  return run_with(std::move(opt));
+}
+
+int run_figures(const std::vector<std::string>& figures) {
+  CliOptions opt;
+  opt.figures = figures;
+  return run_with(std::move(opt));
+}
+
+}  // namespace dvx::exp

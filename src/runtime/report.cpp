@@ -1,7 +1,10 @@
 #include "runtime/report.hpp"
 
 #include <algorithm>
+#include <cmath>
+#include <fstream>
 #include <iomanip>
+#include <limits>
 #include <ostream>
 #include <sstream>
 #include <stdexcept>
@@ -40,11 +43,24 @@ void Table::print(std::ostream& os) const {
   for (const auto& r : rows_) line(r);
 }
 
+std::string csv_escape(const std::string& cell) {
+  if (cell.find_first_of(",\"\r\n") == std::string::npos) return cell;
+  std::string out;
+  out.reserve(cell.size() + 2);
+  out.push_back('"');
+  for (char ch : cell) {
+    if (ch == '"') out.push_back('"');
+    out.push_back(ch);
+  }
+  out.push_back('"');
+  return out;
+}
+
 void Table::print_csv(std::ostream& os) const {
   auto emit = [&](const std::vector<std::string>& cells) {
     for (std::size_t c = 0; c < cells.size(); ++c) {
       if (c) os << ',';
-      os << cells[c];
+      os << csv_escape(cells[c]);
     }
     os << '\n';
   };
@@ -69,6 +85,231 @@ void figure_banner(std::ostream& os, const std::string& figure,
   os << "# " << figure << "\n";
   os << "# paper: " << paper_summary << "\n";
   os << "############################################################\n";
+}
+
+// ---------------------------------------------------------------------------
+// JSON
+// ---------------------------------------------------------------------------
+
+void json_escape(std::ostream& os, std::string_view s) {
+  for (char ch : s) {
+    switch (ch) {
+      case '"': os << "\\\""; break;
+      case '\\': os << "\\\\"; break;
+      case '\b': os << "\\b"; break;
+      case '\f': os << "\\f"; break;
+      case '\n': os << "\\n"; break;
+      case '\r': os << "\\r"; break;
+      case '\t': os << "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(ch) < 0x20) {
+          os << "\\u" << std::hex << std::setw(4) << std::setfill('0')
+             << static_cast<int>(static_cast<unsigned char>(ch)) << std::dec
+             << std::setfill(' ');
+        } else {
+          os << ch;
+        }
+    }
+  }
+}
+
+Json& Json::operator[](const std::string& key) {
+  if (std::holds_alternative<std::nullptr_t>(v_)) v_ = Object{};
+  if (!is_object()) throw std::logic_error("Json::operator[]: not an object");
+  auto& obj = std::get<Object>(v_);
+  for (auto& [k, v] : obj) {
+    if (k == key) return v;
+  }
+  obj.emplace_back(key, Json());
+  return obj.back().second;
+}
+
+void Json::push_back(Json element) {
+  if (std::holds_alternative<std::nullptr_t>(v_)) v_ = Array{};
+  if (!is_array()) throw std::logic_error("Json::push_back: not an array");
+  std::get<Array>(v_).push_back(std::move(element));
+}
+
+namespace {
+
+void dump_number(std::ostream& os, double d) {
+  if (!std::isfinite(d)) {
+    os << "null";  // JSON has no NaN/Inf
+    return;
+  }
+  // Integers up to 2^53 print exactly without an exponent or trailing digits.
+  if (d == std::floor(d) && std::abs(d) < 9.0e15) {
+    os << static_cast<std::int64_t>(d);
+    return;
+  }
+  std::ostringstream tmp;
+  tmp << std::setprecision(std::numeric_limits<double>::max_digits10) << d;
+  os << tmp.str();
+}
+
+}  // namespace
+
+void Json::dump(std::ostream& os, int indent, int depth) const {
+  const std::string pad(static_cast<std::size_t>(indent) * (depth + 1), ' ');
+  const std::string close_pad(static_cast<std::size_t>(indent) * depth, ' ');
+  const char* nl = indent > 0 ? "\n" : "";
+  std::visit(
+      [&](const auto& v) {
+        using T = std::decay_t<decltype(v)>;
+        if constexpr (std::is_same_v<T, std::nullptr_t>) {
+          os << "null";
+        } else if constexpr (std::is_same_v<T, bool>) {
+          os << (v ? "true" : "false");
+        } else if constexpr (std::is_same_v<T, double>) {
+          dump_number(os, v);
+        } else if constexpr (std::is_same_v<T, std::int64_t>) {
+          os << v;
+        } else if constexpr (std::is_same_v<T, std::string>) {
+          os << '"';
+          json_escape(os, v);
+          os << '"';
+        } else if constexpr (std::is_same_v<T, Array>) {
+          if (v.empty()) {
+            os << "[]";
+            return;
+          }
+          os << '[' << nl;
+          for (std::size_t i = 0; i < v.size(); ++i) {
+            os << pad;
+            v[i].dump(os, indent, depth + 1);
+            if (i + 1 < v.size()) os << (indent > 0 ? "," : ", ");
+            os << nl;
+          }
+          os << close_pad << ']';
+        } else if constexpr (std::is_same_v<T, Object>) {
+          if (v.empty()) {
+            os << "{}";
+            return;
+          }
+          os << '{' << nl;
+          for (std::size_t i = 0; i < v.size(); ++i) {
+            os << pad << '"';
+            json_escape(os, v[i].first);
+            os << "\": ";
+            v[i].second.dump(os, indent, depth + 1);
+            if (i + 1 < v.size()) os << (indent > 0 ? "," : ", ");
+            os << nl;
+          }
+          os << close_pad << '}';
+        }
+      },
+      v_);
+}
+
+std::string Json::dump(int indent) const {
+  std::ostringstream os;
+  dump(os, indent);
+  return os.str();
+}
+
+// ---------------------------------------------------------------------------
+// Structured results
+// ---------------------------------------------------------------------------
+
+namespace {
+
+Json map_to_json(const std::map<std::string, double>& m) {
+  Json out = Json::object();
+  for (const auto& [k, v] : m) out[k] = v;
+  return out;
+}
+
+}  // namespace
+
+Json BenchRecord::to_json() const {
+  Json j = Json::object();
+  j["figure"] = figure;
+  j["workload"] = workload;
+  j["backend"] = backend;
+  if (!variant.empty()) j["variant"] = variant;
+  j["nodes"] = nodes;
+  j["config"] = map_to_json(config);
+  j["metrics"] = map_to_json(metrics);
+  return j;
+}
+
+Json AnchorCheck::to_json() const {
+  Json j = Json::object();
+  j["figure"] = figure;
+  j["name"] = name;
+  j["observed"] = observed;
+  j["expected"] = expected;
+  j["pass"] = pass;
+  if (!detail.empty()) j["detail"] = detail;
+  return j;
+}
+
+void ResultSink::add(BenchRecord record) { records_.push_back(std::move(record)); }
+
+void ResultSink::add_anchor(AnchorCheck anchor) { anchors_.push_back(std::move(anchor)); }
+
+std::vector<std::string> ResultSink::figures() const {
+  std::vector<std::string> out;
+  for (const auto& r : records_) {
+    if (std::find(out.begin(), out.end(), r.figure) == out.end()) out.push_back(r.figure);
+  }
+  for (const auto& a : anchors_) {
+    if (std::find(out.begin(), out.end(), a.figure) == out.end()) out.push_back(a.figure);
+  }
+  return out;
+}
+
+Json ResultSink::document(const std::vector<const BenchRecord*>& records,
+                          const std::vector<const AnchorCheck*>& anchors) const {
+  Json doc = Json::object();
+  doc["schema"] = "dvx-bench/v1";
+  doc["driver"] = "dvx_bench";
+  doc["fast"] = fast;
+  if (seed != 0) doc["seed"] = seed;
+  Json recs = Json::array();
+  for (const auto* r : records) recs.push_back(r->to_json());
+  doc["records"] = std::move(recs);
+  Json ancs = Json::array();
+  for (const auto* a : anchors) ancs.push_back(a->to_json());
+  doc["anchors"] = std::move(ancs);
+  return doc;
+}
+
+Json ResultSink::to_json() const {
+  std::vector<const BenchRecord*> rs;
+  for (const auto& r : records_) rs.push_back(&r);
+  std::vector<const AnchorCheck*> as;
+  for (const auto& a : anchors_) as.push_back(&a);
+  return document(rs, as);
+}
+
+Json ResultSink::figure_json(const std::string& figure) const {
+  std::vector<const BenchRecord*> rs;
+  for (const auto& r : records_) {
+    if (r.figure == figure) rs.push_back(&r);
+  }
+  std::vector<const AnchorCheck*> as;
+  for (const auto& a : anchors_) {
+    if (a.figure == figure) as.push_back(&a);
+  }
+  return document(rs, as);
+}
+
+bool ResultSink::write_file(const std::string& path) const {
+  std::ofstream os(path);
+  if (!os) return false;
+  to_json().dump(os, 2);
+  os << '\n';
+  return static_cast<bool>(os);
+}
+
+bool ResultSink::write_figure_file(const std::string& figure,
+                                   const std::string& dir) const {
+  std::ofstream os(dir + "/BENCH_" + figure + ".json");
+  if (!os) return false;
+  figure_json(figure).dump(os, 2);
+  os << '\n';
+  return static_cast<bool>(os);
 }
 
 }  // namespace dvx::runtime

@@ -1,9 +1,21 @@
 #pragma once
-// Fixed-width table/figure reporters for the benchmark harness: every bench
-// binary prints the same rows/series the corresponding paper figure plots.
+// Reporters for the benchmark harness.
+//
+// Two output layers share the same numbers:
+//  * Table — the fixed-width rows/series the corresponding paper figure
+//    plots, printed for humans (plus a CSV dump for plotting scripts).
+//  * ResultSink — structured records serialized as JSON (`BENCH_<figure>.json`
+//    per figure plus an optional combined document), the machine-readable
+//    trajectory the growth loop and CI consume. The schema is documented in
+//    DESIGN.md §6.
 
+#include <cstdint>
 #include <iosfwd>
+#include <map>
 #include <string>
+#include <string_view>
+#include <utility>
+#include <variant>
 #include <vector>
 
 namespace dvx::runtime {
@@ -14,7 +26,8 @@ class Table {
 
   Table& row(std::vector<std::string> cells);
   void print(std::ostream& os) const;
-  /// Comma-separated dump (for plotting scripts).
+  /// Comma-separated dump (for plotting scripts). Cells containing commas,
+  /// quotes, or newlines are quoted RFC-4180 style (`"` doubled to `""`).
   void print_csv(std::ostream& os) const;
 
   std::size_t rows() const noexcept { return rows_.size(); }
@@ -24,6 +37,9 @@ class Table {
   std::vector<std::string> columns_;
   std::vector<std::vector<std::string>> rows_;
 };
+
+/// Quotes one CSV cell if needed (comma, quote, CR or LF present).
+std::string csv_escape(const std::string& cell);
 
 /// Formats a double with `prec` digits after the point.
 std::string fmt(double v, int prec = 2);
@@ -35,5 +51,118 @@ std::string fmt_us(double us);
 /// Prints the standard figure banner used by all bench binaries.
 void figure_banner(std::ostream& os, const std::string& figure,
                    const std::string& paper_summary);
+
+// ---------------------------------------------------------------------------
+// JSON
+// ---------------------------------------------------------------------------
+
+/// Minimal ordered JSON value (no external dependency). Object keys keep
+/// insertion order so emitted documents are deterministic and diffable.
+/// Doubles are emitted with max_digits10 (exact round-trip); non-finite
+/// doubles serialize as null, which JSON requires.
+class Json {
+ public:
+  using Array = std::vector<Json>;
+  using Object = std::vector<std::pair<std::string, Json>>;
+
+  Json() : v_(nullptr) {}
+  Json(std::nullptr_t) : v_(nullptr) {}
+  Json(bool b) : v_(b) {}
+  Json(double d) : v_(d) {}
+  Json(int i) : v_(static_cast<std::int64_t>(i)) {}
+  Json(std::int64_t i) : v_(i) {}
+  Json(std::uint64_t i) : v_(static_cast<std::int64_t>(i)) {}
+  Json(const char* s) : v_(std::string(s)) {}
+  Json(std::string s) : v_(std::move(s)) {}
+
+  static Json array() { return Json(Array{}); }
+  static Json object() { return Json(Object{}); }
+
+  /// Object access; inserts a null member on first use. Converts a null
+  /// value to an object, throws std::logic_error on other kinds.
+  Json& operator[](const std::string& key);
+  /// Array append. Converts a null value to an array.
+  void push_back(Json element);
+
+  bool is_object() const { return std::holds_alternative<Object>(v_); }
+  bool is_array() const { return std::holds_alternative<Array>(v_); }
+
+  /// Serializes; indent == 0 means compact one-line output.
+  void dump(std::ostream& os, int indent = 0, int depth = 0) const;
+  std::string dump(int indent = 0) const;
+
+ private:
+  explicit Json(Array a) : v_(std::move(a)) {}
+  explicit Json(Object o) : v_(std::move(o)) {}
+  std::variant<std::nullptr_t, bool, double, std::int64_t, std::string, Array, Object> v_;
+};
+
+/// Writes `s` with JSON string escaping (quotes, backslash, control chars).
+void json_escape(std::ostream& os, std::string_view s);
+
+// ---------------------------------------------------------------------------
+// Structured results
+// ---------------------------------------------------------------------------
+
+/// One measurement point: a (figure, workload, backend, variant, nodes,
+/// config) tuple with its metric values. `backend` is "dv", "mpi", or
+/// "derived" for cross-backend rows (e.g. DV/IB ratios); `variant`
+/// distinguishes sub-series within a backend (send path, barrier flavor,
+/// application name) and is empty when the figure has a single series.
+struct BenchRecord {
+  std::string figure;
+  std::string workload;
+  std::string backend;
+  std::string variant;
+  int nodes = 0;
+  std::map<std::string, double> config;   ///< resolved parameter values
+  std::map<std::string, double> metrics;  ///< metric key -> value
+  Json to_json() const;
+};
+
+/// A paper-anchor check: did this run reproduce a claim the paper makes?
+struct AnchorCheck {
+  std::string figure;
+  std::string name;       ///< e.g. "dv_dma_fraction_of_peak"
+  double observed = 0.0;
+  double expected = 0.0;  ///< the paper's number (or bound)
+  bool pass = false;
+  std::string detail;     ///< how `pass` was decided
+  Json to_json() const;
+};
+
+/// Accumulates structured results for one driver invocation and writes the
+/// machine-readable JSON documents alongside the legacy tables.
+class ResultSink {
+ public:
+  /// Document-level context, echoed into every emitted file.
+  bool fast = false;
+  std::uint64_t seed = 0;  ///< 0 = per-workload defaults were used
+
+  void add(BenchRecord record);
+  void add_anchor(AnchorCheck anchor);
+
+  const std::vector<BenchRecord>& records() const noexcept { return records_; }
+  const std::vector<AnchorCheck>& anchors() const noexcept { return anchors_; }
+
+  /// Figures seen so far, in first-appearance order.
+  std::vector<std::string> figures() const;
+
+  /// The full document (all figures).
+  Json to_json() const;
+  /// The document restricted to one figure's records and anchors.
+  Json figure_json(const std::string& figure) const;
+
+  /// Writes the combined document. Returns false on I/O failure.
+  bool write_file(const std::string& path) const;
+  /// Writes `<dir>/BENCH_<figure>.json`. Returns false on I/O failure.
+  bool write_figure_file(const std::string& figure, const std::string& dir = ".") const;
+
+ private:
+  Json document(const std::vector<const BenchRecord*>& records,
+                const std::vector<const AnchorCheck*>& anchors) const;
+  std::vector<BenchRecord> records_;
+  std::vector<AnchorCheck> anchors_;
+};
 
 }  // namespace dvx::runtime

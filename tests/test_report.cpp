@@ -1,0 +1,204 @@
+// Tests for the report layer: Table CSV escaping and round-trip, the Json
+// value type, and the structured ResultSink (golden-file schema check).
+
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <sstream>
+
+#include "json_lite.hpp"
+#include "runtime/report.hpp"
+
+namespace runtime = dvx::runtime;
+using dvx::testing::jsonlite::is_valid_json;
+
+namespace {
+
+// -- CSV ---------------------------------------------------------------------
+
+/// A straightforward RFC-4180 CSV reader, independent of the writer.
+std::vector<std::vector<std::string>> parse_csv(const std::string& text) {
+  std::vector<std::vector<std::string>> rows;
+  std::vector<std::string> row;
+  std::string cell;
+  bool quoted = false;
+  for (std::size_t i = 0; i < text.size(); ++i) {
+    const char ch = text[i];
+    if (quoted) {
+      if (ch == '"') {
+        if (i + 1 < text.size() && text[i + 1] == '"') {
+          cell.push_back('"');
+          ++i;
+        } else {
+          quoted = false;
+        }
+      } else {
+        cell.push_back(ch);
+      }
+    } else if (ch == '"') {
+      quoted = true;
+    } else if (ch == ',') {
+      row.push_back(std::move(cell));
+      cell.clear();
+    } else if (ch == '\n') {
+      row.push_back(std::move(cell));
+      cell.clear();
+      rows.push_back(std::move(row));
+      row.clear();
+    } else {
+      cell.push_back(ch);
+    }
+  }
+  return rows;
+}
+
+TEST(ReportCsv, EscapesCommasQuotesAndNewlines) {
+  EXPECT_EQ(runtime::csv_escape("plain"), "plain");
+  EXPECT_EQ(runtime::csv_escape("a,b"), "\"a,b\"");
+  EXPECT_EQ(runtime::csv_escape("say \"hi\""), "\"say \"\"hi\"\"\"");
+  EXPECT_EQ(runtime::csv_escape("two\nlines"), "\"two\nlines\"");
+}
+
+TEST(ReportCsv, TableRoundTripsThroughAParser) {
+  runtime::Table t("tricky", {"name", "value"});
+  t.row({"plain", "1"})
+      .row({"with,comma", "2"})
+      .row({"with \"quotes\"", "3"})
+      .row({"multi\nline", "4"});
+  std::ostringstream os;
+  t.print_csv(os);
+  const auto rows = parse_csv(os.str());
+  ASSERT_EQ(rows.size(), 5u);
+  EXPECT_EQ(rows[0], (std::vector<std::string>{"name", "value"}));
+  EXPECT_EQ(rows[2], (std::vector<std::string>{"with,comma", "2"}));
+  EXPECT_EQ(rows[3], (std::vector<std::string>{"with \"quotes\"", "3"}));
+  EXPECT_EQ(rows[4], (std::vector<std::string>{"multi\nline", "4"}));
+}
+
+TEST(ReportCsv, PlainTablesKeepTheLegacyFormat) {
+  runtime::Table t("demo", {"nodes", "GUPS"});
+  t.row({"4", "0.12"}).row({"32", "1.20"});
+  std::ostringstream csv;
+  t.print_csv(csv);
+  EXPECT_EQ(csv.str(), "nodes,GUPS\n4,0.12\n32,1.20\n");
+}
+
+// -- Json --------------------------------------------------------------------
+
+TEST(ReportJson, ScalarsAndNesting) {
+  runtime::Json j;
+  j["str"] = "va\"lue\n";
+  j["int"] = 42;
+  j["neg"] = -7;
+  j["real"] = 0.25;
+  j["yes"] = true;
+  j["null_member"];  // stays null
+  j["arr"].push_back(1);
+  j["arr"].push_back("two");
+  j["obj"]["inner"] = 3;
+  const std::string compact = j.dump();
+  EXPECT_EQ(compact,
+            "{\"str\": \"va\\\"lue\\n\", \"int\": 42, \"neg\": -7, \"real\": 0.25, "
+            "\"yes\": true, \"null_member\": null, \"arr\": [1, \"two\"], "
+            "\"obj\": {\"inner\": 3}}");
+  EXPECT_TRUE(is_valid_json(compact));
+  EXPECT_TRUE(is_valid_json(j.dump(2)));
+}
+
+TEST(ReportJson, NonFiniteDoublesBecomeNull) {
+  runtime::Json j;
+  j["nan"] = std::numeric_limits<double>::quiet_NaN();
+  j["inf"] = std::numeric_limits<double>::infinity();
+  EXPECT_EQ(j.dump(), "{\"nan\": null, \"inf\": null}");
+  EXPECT_TRUE(is_valid_json(j.dump()));
+}
+
+TEST(ReportJson, IntegerValuedDoublesPrintWithoutExponent) {
+  runtime::Json j;
+  j["big"] = 262144.0;
+  j["small"] = 0.5;
+  EXPECT_EQ(j.dump(), "{\"big\": 262144, \"small\": 0.5}");
+}
+
+TEST(ReportJson, KeysKeepInsertionOrder) {
+  runtime::Json j;
+  j["z"] = 1;
+  j["a"] = 2;
+  j["m"] = 3;
+  EXPECT_EQ(j.dump(), "{\"z\": 1, \"a\": 2, \"m\": 3}");
+}
+
+// -- ResultSink --------------------------------------------------------------
+
+runtime::ResultSink make_reference_sink() {
+  runtime::ResultSink sink;
+  sink.fast = true;
+  sink.seed = 42;
+  runtime::BenchRecord dv;
+  dv.figure = "fig6";
+  dv.workload = "gups";
+  dv.backend = "dv";
+  dv.nodes = 4;
+  dv.config = {{"buffer_limit", 1024}, {"updates_per_node", 8192}};
+  dv.metrics = {{"gups", 0.25}, {"roi_seconds", 0.0078125}};
+  sink.add(dv);
+  runtime::BenchRecord ratio;
+  ratio.figure = "fig6";
+  ratio.workload = "gups";
+  ratio.backend = "derived";
+  ratio.variant = "ratio";
+  ratio.nodes = 4;
+  ratio.metrics = {{"dv_ib_ratio", 1.5}};
+  sink.add(ratio);
+  runtime::AnchorCheck a;
+  a.figure = "fig6";
+  a.name = "dv_above_ib_at_scale";
+  a.observed = 1.5;
+  a.expected = 1.0;
+  a.pass = true;
+  a.detail = "DV aggregate rate above IB";
+  sink.add_anchor(a);
+  return sink;
+}
+
+TEST(ResultSink, MatchesGoldenDocument) {
+  const auto sink = make_reference_sink();
+  std::ifstream golden(std::string(DVX_GOLDEN_DIR) + "/result_sink.json");
+  ASSERT_TRUE(golden.is_open()) << "missing golden file under " << DVX_GOLDEN_DIR;
+  std::stringstream want;
+  want << golden.rdbuf();
+  EXPECT_EQ(sink.to_json().dump(2) + "\n", want.str());
+  EXPECT_TRUE(is_valid_json(want.str()));
+}
+
+TEST(ResultSink, FigureFilterAndFigureList) {
+  auto sink = make_reference_sink();
+  runtime::BenchRecord other;
+  other.figure = "fig7";
+  other.workload = "fft1d";
+  other.backend = "mpi";
+  other.nodes = 8;
+  other.metrics = {{"gflops", 12.5}};
+  sink.add(other);
+  EXPECT_EQ(sink.figures(), (std::vector<std::string>{"fig6", "fig7"}));
+  const std::string fig7 = sink.figure_json("fig7").dump();
+  EXPECT_TRUE(is_valid_json(fig7));
+  EXPECT_NE(fig7.find("fft1d"), std::string::npos);
+  EXPECT_EQ(fig7.find("gups"), std::string::npos);
+  // The fig6 anchor must not leak into the fig7 document.
+  EXPECT_EQ(fig7.find("dv_above_ib_at_scale"), std::string::npos);
+}
+
+TEST(ResultSink, WritesFigureFile) {
+  const auto sink = make_reference_sink();
+  const std::string dir = ::testing::TempDir();
+  ASSERT_TRUE(sink.write_figure_file("fig6", dir));
+  std::ifstream in(dir + "/BENCH_fig6.json");
+  ASSERT_TRUE(in.is_open());
+  std::stringstream got;
+  got << in.rdbuf();
+  EXPECT_TRUE(is_valid_json(got.str()));
+  EXPECT_NE(got.str().find("\"schema\": \"dvx-bench/v1\""), std::string::npos);
+}
+
+}  // namespace
