@@ -1,11 +1,13 @@
 #include "exp/driver.hpp"
 
+#include <charconv>
 #include <cstdint>
 #include <exception>
 #include <iostream>
 #include <sstream>
 #include <string_view>
 
+#include "exp/scheduler.hpp"
 #include "exp/workload.hpp"
 
 namespace dvx::exp {
@@ -22,7 +24,11 @@ void print_usage(std::ostream& os) {
         "options:\n"
         "  --nodes 4,8,16,32    override the node sweep (figures with a sweep)\n"
         "  --fast               shrink problem sizes (same as DVX_BENCH_FAST=1)\n"
-        "  --seed N             override the RNG seed (workloads that use one)\n"
+        "  --seed N             root RNG seed; each measurement point derives its\n"
+        "                       own SplitMix64 sub-seed from it (0 = workload defaults)\n"
+        "  --jobs N             run measurement points on N threads (default: the\n"
+        "                       DVX_BENCH_JOBS env var, else hardware concurrency;\n"
+        "                       results are identical at any N, --jobs 1 = serial)\n"
         "  --json PATH          also write the combined JSON document to PATH\n"
         "  --no-figure-json     skip the per-figure BENCH_<figure>.json files\n"
         "  --help               this text\n"
@@ -31,19 +37,33 @@ void print_usage(std::ostream& os) {
         "one BENCH_<figure>.json per figure (schema: DESIGN.md §6).\n";
 }
 
-std::vector<std::string> split_csv(std::string_view s) {
-  std::vector<std::string> out;
+/// Strict decimal parse of the whole string: rejects empty input, trailing
+/// garbage ("8x"), and — via the unsigned overload — negative values ("-1").
+template <typename Int>
+bool parse_number(std::string_view s, Int& out) {
+  const auto [ptr, ec] = std::from_chars(s.data(), s.data() + s.size(), out);
+  return ec == std::errc() && ptr == s.data() + s.size() && !s.empty();
+}
+
+/// Splits on commas. Returns false (leaving a message in `err`) when a field
+/// is empty ("4,,8", ",4", "4,"), which previously was silently dropped.
+bool split_csv(std::string_view s, std::vector<std::string>& out, std::string& err) {
   std::string cur;
-  for (char ch : s) {
-    if (ch == ',') {
-      if (!cur.empty()) out.push_back(std::move(cur));
+  std::size_t fields = 0;
+  for (std::size_t i = 0;; ++i) {
+    if (i == s.size() || s[i] == ',') {
+      if (cur.empty()) {
+        err = "empty field " + std::to_string(fields + 1);
+        return false;
+      }
+      out.push_back(std::move(cur));
       cur.clear();
+      ++fields;
+      if (i == s.size()) return true;
     } else {
-      cur.push_back(ch);
+      cur.push_back(s[i]);
     }
   }
-  if (!cur.empty()) out.push_back(std::move(cur));
-  return out;
 }
 
 void print_list(std::ostream& os) {
@@ -71,17 +91,23 @@ void print_list(std::ostream& os) {
 struct CliOptions {
   bool list = false;
   bool all = false;
+  bool help = false;
   std::vector<std::string> figures;
   RunOptions run;
+  int jobs = 0;  ///< 0 = PointScheduler::default_jobs()
   std::string json_path;
   bool figure_json = true;
 };
 
-/// Returns true on success; on failure prints the problem and returns false.
+/// Returns true when every argument parsed cleanly; on failure prints the
+/// problem and returns false. Never returns early: `--help --bogus` still
+/// reports the bogus flag instead of silently accepting it.
 bool parse_args(int argc, const char* const* argv, CliOptions& opt, std::ostream& err) {
+  bool ok = true;
   auto need_value = [&](int& i, std::string_view flag) -> const char* {
     if (i + 1 >= argc) {
       err << "dvx_bench: " << flag << " requires a value\n";
+      ok = false;
       return nullptr;
     }
     return argv[++i];
@@ -98,8 +124,15 @@ bool parse_args(int argc, const char* const* argv, CliOptions& opt, std::ostream
       opt.figure_json = false;
     } else if (arg == "--figure") {
       const char* v = need_value(i, arg);
-      if (!v) return false;
-      for (auto& f : split_csv(v)) {
+      if (!v) continue;
+      std::vector<std::string> fields;
+      std::string csv_err;
+      if (!split_csv(v, fields, csv_err)) {
+        err << "dvx_bench: bad --figure value '" << v << "' (" << csv_err << ")\n";
+        ok = false;
+        continue;
+      }
+      for (auto& f : fields) {
         if (f == "all") {
           opt.all = true;
         } else {
@@ -108,45 +141,55 @@ bool parse_args(int argc, const char* const* argv, CliOptions& opt, std::ostream
       }
     } else if (arg == "--nodes") {
       const char* v = need_value(i, arg);
-      if (!v) return false;
-      for (const auto& n : split_csv(v)) {
-        try {
-          opt.run.nodes.push_back(std::stoi(n));
-        } catch (const std::exception&) {
+      if (!v) continue;
+      std::vector<std::string> fields;
+      std::string csv_err;
+      if (!split_csv(v, fields, csv_err)) {
+        err << "dvx_bench: bad --nodes value '" << v << "' (" << csv_err << ")\n";
+        ok = false;
+        continue;
+      }
+      for (const auto& n : fields) {
+        int nodes = 0;
+        if (!parse_number(n, nodes)) {
           err << "dvx_bench: bad --nodes value '" << n << "'\n";
-          return false;
+          ok = false;
+          continue;
         }
-        if (opt.run.nodes.back() < 2) {
+        if (nodes < 2) {
           err << "dvx_bench: --nodes values must be >= 2\n";
-          return false;
+          ok = false;
+          continue;
         }
+        opt.run.nodes.push_back(nodes);
       }
     } else if (arg == "--seed") {
       const char* v = need_value(i, arg);
-      if (!v) return false;
-      try {
-        opt.run.seed = std::stoull(v);
-      } catch (const std::exception&) {
-        err << "dvx_bench: bad --seed value '" << v << "'\n";
-        return false;
+      if (!v) continue;
+      if (!parse_number(std::string_view(v), opt.run.seed)) {
+        err << "dvx_bench: bad --seed value '" << v
+            << "' (must be a non-negative integer)\n";
+        ok = false;
+      }
+    } else if (arg == "--jobs") {
+      const char* v = need_value(i, arg);
+      if (!v) continue;
+      if (!parse_number(std::string_view(v), opt.jobs) || opt.jobs < 1) {
+        err << "dvx_bench: bad --jobs value '" << v << "' (must be an integer >= 1)\n";
+        ok = false;
       }
     } else if (arg == "--json") {
       const char* v = need_value(i, arg);
-      if (!v) return false;
+      if (!v) continue;
       opt.json_path = v;
     } else if (arg == "--help" || arg == "-h") {
-      print_usage(err);
-      opt.list = false;
-      opt.all = false;
-      opt.figures.clear();
-      opt.json_path.clear();
-      return true;
+      opt.help = true;
     } else {
       err << "dvx_bench: unknown argument '" << arg << "'\n";
-      return false;
+      ok = false;
     }
   }
-  return true;
+  return ok;
 }
 
 int run_with(CliOptions opt) {
@@ -176,28 +219,24 @@ int run_with(CliOptions opt) {
   }
 
   if (!opt.run.fast) opt.run.fast = fast_mode_env();
+  const int jobs = opt.jobs > 0 ? opt.jobs : PointScheduler::default_jobs();
 
   runtime::ResultSink sink;
   sink.fast = opt.run.fast;
   sink.seed = opt.run.seed;
   int failures = 0;
-  for (const auto* w : selected) {
-    try {
-      w->run(opt.run, sink);
-    } catch (const std::exception& e) {
-      std::cerr << "dvx_bench: " << w->figure() << " failed: " << e.what() << "\n";
-      ++failures;
-      continue;
-    }
-    if (opt.figure_json) {
-      if (sink.write_figure_file(w->figure())) {
-        os << "\n[dvx_bench] wrote BENCH_" << w->figure() << ".json\n";
-      } else {
-        std::cerr << "dvx_bench: could not write BENCH_" << w->figure() << ".json\n";
-        ++failures;
-      }
-    }
-  }
+  failures += run_workloads(selected, opt.run, jobs, sink,
+                            [&](const Workload& w, bool figure_ok) {
+                              if (!figure_ok || !opt.figure_json) return;
+                              if (sink.write_figure_file(w.figure())) {
+                                os << "\n[dvx_bench] wrote BENCH_" << w.figure()
+                                   << ".json\n";
+                              } else {
+                                std::cerr << "dvx_bench: could not write BENCH_"
+                                          << w.figure() << ".json\n";
+                                ++failures;
+                              }
+                            });
   if (!opt.json_path.empty()) {
     if (sink.write_file(opt.json_path)) {
       os << "[dvx_bench] wrote " << opt.json_path << " (" << sink.records().size()
@@ -212,19 +251,92 @@ int run_with(CliOptions opt) {
 
 }  // namespace
 
+int run_workloads(const std::vector<const Workload*>& workloads, const RunOptions& opt,
+                  int jobs, runtime::ResultSink& sink,
+                  const std::function<void(const Workload&, bool ok)>& per_figure) {
+  struct PlannedFigure {
+    const Workload* workload = nullptr;
+    std::vector<RunPoint> points;
+    std::vector<PointResult> results;
+    std::string plan_error;
+  };
+  std::vector<PlannedFigure> figures(workloads.size());
+  for (std::size_t f = 0; f < workloads.size(); ++f) {
+    figures[f].workload = workloads[f];
+    try {
+      figures[f].points = workloads[f]->plan(opt);
+    } catch (const std::exception& e) {
+      figures[f].plan_error = e.what();
+    }
+    figures[f].results.resize(figures[f].points.size());
+  }
+
+  // One task per point across every selected figure; slots are preallocated
+  // so workers never touch a shared container.
+  std::vector<std::function<void()>> tasks;
+  for (std::size_t f = 0; f < figures.size(); ++f) {
+    for (std::size_t i = 0; i < figures[f].points.size(); ++i) {
+      tasks.push_back([&figures, f, i] {
+        figures[f].results[i] =
+            execute_point(*figures[f].workload, figures[f].points[i]);
+      });
+    }
+  }
+  PointScheduler scheduler(jobs);
+  if (scheduler.jobs() > 1 && tasks.size() > 1) {
+    std::cerr << "[dvx_bench] running " << tasks.size() << " points across "
+              << figures.size() << " figure(s) on " << scheduler.jobs()
+              << " threads\n";
+  }
+  scheduler.run(tasks);
+
+  // Report in selection order, so tables, JSON records, and anchors come out
+  // in the canonical plan order no matter how execution interleaved. A
+  // figure with a failed point (or a failing plan/report) fails alone.
+  int failures = 0;
+  for (auto& fig : figures) {
+    const Workload& w = *fig.workload;
+    bool figure_ok = fig.plan_error.empty();
+    if (!fig.plan_error.empty()) {
+      std::cerr << "dvx_bench: " << w.figure() << " failed to plan: " << fig.plan_error
+                << "\n";
+    }
+    for (const auto& r : fig.results) {
+      if (!r.failed()) continue;
+      figure_ok = false;
+      std::cerr << "dvx_bench: " << w.figure() << " point " << r.point.index << " ("
+                << to_string(r.point.backend) << ", " << r.point.nodes << " nodes"
+                << (r.point.variant.empty() ? "" : ", " + r.point.variant)
+                << ") failed: " << r.error << "\n";
+    }
+    if (figure_ok) {
+      try {
+        w.report(opt, fig.results, sink);
+      } catch (const std::exception& e) {
+        std::cerr << "dvx_bench: " << w.figure() << " failed to report: " << e.what()
+                  << "\n";
+        figure_ok = false;
+      }
+    }
+    if (!figure_ok) ++failures;
+    if (per_figure) per_figure(w, figure_ok);
+  }
+  return failures;
+}
+
 int run_cli(int argc, const char* const* argv) {
   CliOptions opt;
   if (!parse_args(argc, argv, opt, std::cerr)) return 2;
-  if (!opt.list && !opt.all && opt.figures.empty() && opt.json_path.empty()) {
-    // `--help`, or no selection at all: parse_args already printed usage for
-    // --help; print it here for the bare invocation.
-    bool was_help = false;
-    for (int i = 1; i < argc; ++i) {
-      const std::string_view a = argv[i];
-      if (a == "--help" || a == "-h") was_help = true;
-    }
-    if (!was_help) print_usage(std::cerr);
-    return was_help ? 0 : 2;
+  if (opt.help) {
+    // --help wins over any (valid) selection; garbage was rejected above.
+    print_usage(std::cerr);
+    return 0;
+  }
+  if (!opt.list && !opt.all && opt.figures.empty()) {
+    // No figure selection — even with --json or other options, there is
+    // nothing to run: print usage instead of reaching run_with.
+    print_usage(std::cerr);
+    return 2;
   }
   return run_with(std::move(opt));
 }

@@ -5,14 +5,19 @@
 //
 //   dvx_bench --list
 //   dvx_bench --figure fig6 --nodes 4,8,16,32 --fast --json out.json
-//   dvx_bench --all
+//   dvx_bench --all --jobs 8
 //
 // Every run prints the legacy tables and writes one machine-readable
 // `BENCH_<figure>.json` per figure (schema in DESIGN.md §6); `--json PATH`
-// additionally writes the combined document.
+// additionally writes the combined document. Measurement points run on a
+// PointScheduler thread pool (`--jobs N` / DVX_BENCH_JOBS, default
+// hardware_concurrency); output is byte-identical at any parallelism.
 
+#include <functional>
 #include <string>
 #include <vector>
+
+#include "exp/workload.hpp"
 
 namespace dvx::exp {
 
@@ -24,5 +29,18 @@ int run_cli(int argc, const char* const* argv);
 /// (fast mode from DVX_BENCH_FAST, default node sweeps, tables to stdout,
 /// per-figure BENCH_*.json files).
 int run_figures(const std::vector<std::string>& figures);
+
+/// Embedding/testing entry point, also the core of run_cli: plans every
+/// workload, executes all points on a `jobs`-wide PointScheduler, then
+/// reports each figure in selection order into `sink` (canonical plan-order
+/// records, so output does not depend on `jobs`). A point that throws fails
+/// only its own figure: its error is printed to std::cerr after all points
+/// ran, sibling figures still report. `per_figure`, when set, is invoked
+/// after each figure's report (ok == false for a failed figure) — the CLI
+/// uses it to write the per-figure BENCH_*.json files. Returns the number
+/// of failed figures.
+int run_workloads(const std::vector<const Workload*>& workloads,
+                  const RunOptions& opt, int jobs, runtime::ResultSink& sink,
+                  const std::function<void(const Workload&, bool ok)>& per_figure = {});
 
 }  // namespace dvx::exp

@@ -2,16 +2,54 @@
 
 #include <cstdlib>
 #include <iostream>
+#include <sstream>
+#include <stdexcept>
 
 #include "runtime/constants.hpp"
+#include "sim/rng.hpp"
 
 namespace dvx::exp {
+namespace {
+
+/// FNV-1a, used to fold the figure tag into the seed-derivation stream so
+/// two figures never share a sub-seed sequence.
+std::uint64_t hash_string(std::string_view s) {
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  for (char ch : s) {
+    h ^= static_cast<unsigned char>(ch);
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+}  // namespace
 
 const char* to_string(Backend b) { return b == Backend::kDv ? "dv" : "mpi"; }
 
 bool Workload::has_backend(Backend) const { return true; }
 
 std::vector<int> Workload::default_nodes(bool) const { return paper_node_counts(); }
+
+MetricMap Workload::execute(const RunPoint& point, std::ostream&) const {
+  return run_backend(point.backend, point.nodes, point.params);
+}
+
+void Workload::run(const RunOptions& opt, runtime::ResultSink& sink) const {
+  const auto points = plan(opt);
+  std::vector<PointResult> results;
+  results.reserve(points.size());
+  for (const auto& p : points) results.push_back(execute_point(*this, p));
+  std::string errors;
+  for (const auto& r : results) {
+    if (!r.failed()) continue;
+    if (!errors.empty()) errors += "; ";
+    errors += "point " + std::to_string(r.point.index) + " (" +
+              to_string(r.point.backend) + ", " + std::to_string(r.point.nodes) +
+              " nodes): " + r.error;
+  }
+  if (!errors.empty()) throw std::runtime_error(errors);
+  report(opt, results, sink);
+}
 
 ParamMap Workload::default_params(bool fast) const {
   ParamMap out;
@@ -39,6 +77,11 @@ runtime::BenchRecord Workload::make_record(Backend backend, int nodes,
   return r;
 }
 
+runtime::BenchRecord Workload::make_record(const PointResult& result) const {
+  return make_record(result.point.backend, result.point.nodes, result.point.params,
+                     result.metrics, result.point.variant);
+}
+
 runtime::BenchRecord Workload::make_derived_record(int nodes, MetricMap metrics,
                                                    std::string variant) const {
   runtime::BenchRecord r;
@@ -62,6 +105,39 @@ runtime::AnchorCheck Workload::make_anchor(std::string name, double observed,
   a.pass = pass;
   a.detail = std::move(detail);
   return a;
+}
+
+PlanBuilder::PlanBuilder(const Workload& workload, const RunOptions& opt) {
+  if (opt.seed != 0) {
+    figure_seed_ = sim::derive_seed(opt.seed, hash_string(workload.figure()));
+  }
+}
+
+void PlanBuilder::add(Backend backend, int nodes, const ParamMap& params,
+                      std::string variant) {
+  RunPoint p;
+  p.index = points_.size();
+  p.backend = backend;
+  p.nodes = nodes;
+  p.params = params;
+  p.variant = std::move(variant);
+  p.seed = figure_seed_ == 0 ? 0 : sim::derive_seed(figure_seed_, p.index);
+  points_.push_back(std::move(p));
+}
+
+PointResult execute_point(const Workload& workload, const RunPoint& point) {
+  PointResult result;
+  result.point = point;
+  std::ostringstream log;
+  try {
+    result.metrics = workload.execute(point, log);
+  } catch (const std::exception& e) {
+    result.error = e.what();
+  } catch (...) {
+    result.error = "unknown exception";
+  }
+  result.log = log.str();
+  return result;
 }
 
 Registry& Registry::instance() {

@@ -6,10 +6,22 @@
 // `runtime::ResultSink`.
 //
 // A workload is a thin adapter over the existing `apps::run_*_dv` /
-// `apps::run_*_mpi` entry points: it names its parameters (with full and
-// fast-mode defaults), declares its metric schema, exposes a uniform
-// per-point `run_backend` entry for both network implementations, and
-// orchestrates the figure-level sweep in `run`.
+// `apps::run_*_mpi` entry points. Reproducing a figure is split into three
+// phases so independent measurement points can run in parallel
+// (DESIGN.md §6, "parallel execution & determinism"):
+//
+//   plan    — enumerate the figure's `RunPoint`s in canonical order:
+//             (backend, nodes, fully resolved params, variant label, and a
+//             SplitMix64 sub-seed derived from the root `--seed`).
+//   execute — run ONE point. Pure: owns its own `sim::Engine` /
+//             `runtime::Cluster`, touches no shared state, writes any
+//             human-readable output to the per-point log stream.
+//   report  — consume the results (same order as the plan) to print the
+//             legacy tables and append records/anchors to the sink.
+//
+// Because every point is independent and seeded from the plan alone, the
+// results — and therefore the emitted JSON — are byte-identical at any
+// `--jobs` level.
 
 #include <cstdint>
 #include <iosfwd>
@@ -59,6 +71,26 @@ struct RunOptions {
   std::ostream* out = nullptr; ///< table output; nullptr = std::cout
 };
 
+/// One planned measurement point of a figure.
+struct RunPoint {
+  std::size_t index = 0;          ///< position in the figure's canonical plan
+  Backend backend = Backend::kDv;
+  int nodes = 0;
+  ParamMap params;                ///< fully resolved parameter values
+  std::string variant;            ///< sub-series label ("" = single series)
+  std::uint64_t seed = 0;         ///< SplitMix64 sub-seed of the root --seed
+                                  ///< (0 when no root seed was given)
+};
+
+/// Outcome of executing one RunPoint.
+struct PointResult {
+  RunPoint point;
+  MetricMap metrics;   ///< empty when the point failed
+  std::string log;     ///< human-readable output captured during execution
+  std::string error;   ///< non-empty: the point threw with this message
+  bool failed() const { return !error.empty(); }
+};
+
 class Workload {
  public:
   virtual ~Workload() = default;
@@ -85,11 +117,25 @@ class Workload {
   virtual MetricMap run_backend(Backend backend, int nodes,
                                 const ParamMap& params) const = 0;
 
-  /// Runs the full figure reproduction: sweeps its points (honouring
-  /// `opt.nodes` where the figure has a node sweep), prints the legacy
-  /// tables and paper-anchor notes to `opt.out`, and appends one
-  /// BenchRecord per point (plus AnchorChecks) to `sink`.
-  virtual void run(const RunOptions& opt, runtime::ResultSink& sink) const = 0;
+  /// Enumerates the figure's measurement points in canonical order,
+  /// honouring `opt.nodes` where the figure has a node sweep.
+  virtual std::vector<RunPoint> plan(const RunOptions& opt) const = 0;
+
+  /// Executes ONE planned point. Must be pure with respect to shared state:
+  /// the only side channels are the returned metrics and `log` (shown by the
+  /// reporting phase, in plan order). The default forwards to run_backend.
+  virtual MetricMap execute(const RunPoint& point, std::ostream& log) const;
+
+  /// Prints the figure's banner, tables, and paper-anchor notes from the
+  /// executed results (`results[i].point.index == i`, all successful) and
+  /// appends one BenchRecord per point (plus AnchorChecks) to `sink`.
+  virtual void report(const RunOptions& opt, const std::vector<PointResult>& results,
+                      runtime::ResultSink& sink) const = 0;
+
+  /// Runs the full figure reproduction sequentially on the calling thread:
+  /// plan, execute every point, then report. Throws std::runtime_error with
+  /// the aggregated messages if any point failed (after all points ran).
+  void run(const RunOptions& opt, runtime::ResultSink& sink) const;
 
   // -- helpers shared by implementations --
 
@@ -102,6 +148,8 @@ class Workload {
                                    const ParamMap& params,
                                    MetricMap metrics,
                                    std::string variant = {}) const;
+  /// A record for an executed point (same tags, the point's params/variant).
+  runtime::BenchRecord make_record(const PointResult& result) const;
   /// A cross-backend ("derived") record, e.g. a DV/IB ratio row.
   runtime::BenchRecord make_derived_record(int nodes, MetricMap metrics,
                                            std::string variant = {}) const;
@@ -110,6 +158,28 @@ class Workload {
                                    double expected, bool pass,
                                    std::string detail = {}) const;
 };
+
+/// Accumulates a figure's RunPoints in canonical order, assigning each its
+/// index and a sub-seed derived (SplitMix64) from the root `--seed` and the
+/// figure tag — a pure function of the plan, independent of `--jobs`.
+class PlanBuilder {
+ public:
+  PlanBuilder(const Workload& workload, const RunOptions& opt);
+
+  /// Appends the next point; `params` are copied as resolved.
+  void add(Backend backend, int nodes, const ParamMap& params,
+           std::string variant = {});
+
+  std::vector<RunPoint> take() { return std::move(points_); }
+
+ private:
+  std::uint64_t figure_seed_ = 0;  ///< 0 = no root seed given
+  std::vector<RunPoint> points_;
+};
+
+/// Executes one point with exceptions captured into PointResult::error and
+/// log output captured into PointResult::log. Never throws.
+PointResult execute_point(const Workload& workload, const RunPoint& point);
 
 /// The global workload registry. Populated with the built-in workloads on
 /// first access; figure tags ("fig3".."fig9", "ablation_*") and workload

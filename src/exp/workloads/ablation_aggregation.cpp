@@ -103,41 +103,64 @@ class AblationAggregationWorkload final : public Workload {
     return {{"aggregate_mups", res.gups() * 1e3}};
   }
 
-  void run(const RunOptions& opt, runtime::ResultSink& sink) const override {
+  std::vector<RunPoint> plan(const RunOptions& opt) const override {
+    PlanBuilder builder(*this, opt);
+    ParamMap params = default_params(opt.fast);
+    const int nodes = opt.nodes.empty() ? default_nodes(opt.fast).front() : opt.nodes.front();
+    for (int buf : {1024, 128, 16}) {
+      params["buffer_limit"] = buf;
+      builder.add(Backend::kDv, nodes, params, "buffer_sweep");
+    }
+    params["buffer_limit"] = 1024;
+    for (int p = 0; p < 3; ++p) {
+      params["path"] = p;
+      builder.add(Backend::kDv, 2, params, kPathNames[p]);
+    }
+    return builder.take();
+  }
+
+  // The put-path points measure a bulk put outside run_backend's GUPS probe;
+  // dispatch on the variant the plan assigned.
+  MetricMap execute(const RunPoint& point, std::ostream& log) const override {
+    if (point.variant == "buffer_sweep") return Workload::execute(point, log);
+    const auto words = static_cast<std::int64_t>(point.params.at("put_words"));
+    const double s =
+        put_path_seconds(static_cast<int>(point.params.at("path")), words);
+    return {{"put_seconds", s},
+            {"put_bytes_per_sec", static_cast<double>(words * 8) / s}};
+  }
+
+  void report(const RunOptions& opt, const std::vector<PointResult>& results,
+              runtime::ResultSink& sink) const override {
     std::ostream& os = opt.out ? *opt.out : std::cout;
     banner(os);
-    ParamMap params = default_params(opt.fast);
     const int nodes = opt.nodes.empty() ? default_nodes(opt.fast).front() : opt.nodes.front();
 
     runtime::Table t1("GUPS-DV vs PCIe aggregation (" + std::to_string(nodes) +
                           " nodes): update-buffer sweep",
                       {"buffer (updates)", "aggregate MUPS", "vs 1024-buffer"});
     double base = 0.0, smallest = 0.0;
-    for (int buf : {1024, 128, 16}) {
-      params["buffer_limit"] = buf;
-      auto m = run_backend(Backend::kDv, nodes, params);
-      const double mups = m.at("aggregate_mups");
-      if (buf == 1024) base = mups;
+    const int bufs[3] = {1024, 128, 16};
+    for (int i = 0; i < 3; ++i) {
+      const PointResult& point = results[static_cast<std::size_t>(i)];
+      const double mups = point.metrics.at("aggregate_mups");
+      if (bufs[i] == 1024) base = mups;
       smallest = mups;
-      t1.row({std::to_string(buf), runtime::fmt(mups), runtime::fmt(mups / base)});
-      sink.add(make_record(Backend::kDv, nodes, params, std::move(m), "buffer_sweep"));
+      t1.row({std::to_string(bufs[i]), runtime::fmt(mups), runtime::fmt(mups / base)});
+      sink.add(make_record(point));
     }
     t1.print(os);
-    params["buffer_limit"] = 1024;
 
     runtime::Table t2("64 Ki-word put through each send path (receiver-visible time)",
                       {"path", "time", "effective bandwidth"});
-    const auto words = static_cast<std::int64_t>(params.at("put_words"));
     const char* names[3] = {"DWr/NoCached", "DWr/Cached", "DMA/Cached"};
     double path_bw[3] = {0, 0, 0};
     for (int p = 0; p < 3; ++p) {
-      params["path"] = p;
-      const double s = put_path_seconds(p, words);
-      path_bw[p] = static_cast<double>(words * 8) / s;
+      const PointResult& point = results[static_cast<std::size_t>(3 + p)];
+      const double s = point.metrics.at("put_seconds");
+      path_bw[p] = point.metrics.at("put_bytes_per_sec");
       t2.row({names[p], runtime::fmt_us(s * 1e6), runtime::fmt_gbs(path_bw[p])});
-      sink.add(make_record(Backend::kDv, 2, params,
-                           {{"put_seconds", s}, {"put_bytes_per_sec", path_bw[p]}},
-                           kPathNames[p]));
+      sink.add(make_record(point));
     }
     t2.print(os);
 

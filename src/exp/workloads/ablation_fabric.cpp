@@ -111,24 +111,34 @@ class AblationFabricWorkload final : public Workload {
             {"latency_ratio", p.analytic_latency / p.cycle_latency}};
   }
 
-  void run(const RunOptions& opt, runtime::ResultSink& sink) const override {
+  std::vector<RunPoint> plan(const RunOptions& opt) const override {
+    PlanBuilder builder(*this, opt);
+    ParamMap params = default_params(opt.fast);
+    for (double load : {0.02, 0.05, 0.10, 0.15, 0.20}) {
+      params["offered_load"] = load;
+      builder.add(Backend::kDv, 32, params);
+    }
+    return builder.take();
+  }
+
+  void report(const RunOptions& opt, const std::vector<PointResult>& results,
+              runtime::ResultSink& sink) const override {
     std::ostream& os = opt.out ? *opt.out : std::cout;
     banner(os);
-    ParamMap params = default_params(opt.fast);
+    (void)opt;
 
     runtime::Table t("uniform random traffic, 32-port (H=8, A=4) switch",
                      {"offered load", "cycle lat (cyc)", "defl/pkt", "analytic lat (cyc)",
                       "ratio"});
     bool all_within = true;
-    for (double load : {0.02, 0.05, 0.10, 0.15, 0.20}) {
-      params["offered_load"] = load;
-      auto m = run_backend(Backend::kDv, 32, params);
-      const double ratio = m.at("latency_ratio");
-      t.row({runtime::fmt(load), runtime::fmt(m.at("cycle_latency"), 1),
-             runtime::fmt(m.at("cycle_deflections")),
-             runtime::fmt(m.at("analytic_latency"), 1), runtime::fmt(ratio)});
+    for (const PointResult& point : results) {
+      const double ratio = point.metrics.at("latency_ratio");
+      t.row({runtime::fmt(point.point.params.at("offered_load")),
+             runtime::fmt(point.metrics.at("cycle_latency"), 1),
+             runtime::fmt(point.metrics.at("cycle_deflections")),
+             runtime::fmt(point.metrics.at("analytic_latency"), 1), runtime::fmt(ratio)});
       if (ratio < 0.5 || ratio > 2.0) all_within = false;
-      sink.add(make_record(Backend::kDv, 32, params, std::move(m)));
+      sink.add(make_record(point));
     }
     t.print(os);
     os << "\nreading: below saturation (~0.2 packets/port/fabric-cycle) the analytic\n"

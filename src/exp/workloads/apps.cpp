@@ -88,31 +88,46 @@ class AppsWorkload final : public Workload {
     return {{"roi_seconds", seconds}};
   }
 
-  void run(const RunOptions& opt, runtime::ResultSink& sink) const override {
+  std::vector<RunPoint> plan(const RunOptions& opt) const override {
+    PlanBuilder builder(*this, opt);
+    ParamMap params = default_params(opt.fast);
+    const auto nodes_list = opt.nodes.empty() ? default_nodes(opt.fast) : opt.nodes;
+    for (const int nodes : nodes_list) {
+      for (int app = 0; app < 3; ++app) {
+        params["app"] = app;
+        builder.add(Backend::kDv, nodes, params, kAppNames[app]);
+        builder.add(Backend::kMpi, nodes, params, kAppNames[app]);
+      }
+    }
+    return builder.take();
+  }
+
+  void report(const RunOptions& opt, const std::vector<PointResult>& results,
+              runtime::ResultSink& sink) const override {
     std::ostream& os = opt.out ? *opt.out : std::cout;
     banner(os);
-    ParamMap params = default_params(opt.fast);
     const auto nodes_list = opt.nodes.empty() ? default_nodes(opt.fast) : opt.nodes;
     const double paper_speedup[3] = {runtime::paper::kSnapSpeedup,
                                      runtime::paper::kVorticitySpeedup,
                                      runtime::paper::kHeatSpeedup};
     const char* paper_label[3] = {"1.19", "3.41", "2.46"};
 
+    std::size_t r = 0;  // dv/mpi pairs per app, apps per node count, in plan order
     for (int nodes : nodes_list) {
       runtime::Table t("Fig 9 — Data Vortex speedup over MPI/IB (" +
                            std::to_string(nodes) + " nodes)",
                        {"application", "DV time", "MPI time", "speedup", "paper"});
       for (int app = 0; app < 3; ++app) {
-        params["app"] = app;
-        auto dv = run_backend(Backend::kDv, nodes, params);
-        auto mpi = run_backend(Backend::kMpi, nodes, params);
-        const double speedup = mpi.at("roi_seconds") / dv.at("roi_seconds");
+        const PointResult& dv = results[r++];
+        const PointResult& mpi = results[r++];
+        const double speedup =
+            mpi.metrics.at("roi_seconds") / dv.metrics.at("roi_seconds");
         t.row({app == kSnap ? "SNAP" : (app == kVorticity ? "Vorticity" : "Heat"),
-               runtime::fmt_us(dv.at("roi_seconds") * 1e6),
-               runtime::fmt_us(mpi.at("roi_seconds") * 1e6), runtime::fmt(speedup),
-               paper_label[app]});
-        sink.add(make_record(Backend::kDv, nodes, params, std::move(dv), kAppNames[app]));
-        sink.add(make_record(Backend::kMpi, nodes, params, std::move(mpi), kAppNames[app]));
+               runtime::fmt_us(dv.metrics.at("roi_seconds") * 1e6),
+               runtime::fmt_us(mpi.metrics.at("roi_seconds") * 1e6),
+               runtime::fmt(speedup), paper_label[app]});
+        sink.add(make_record(dv));
+        sink.add(make_record(mpi));
         sink.add(make_derived_record(nodes, {{"speedup", speedup}}, kAppNames[app]));
         // The restructured apps must land in the paper's 2.46-3.41x band
         // (loosely) and SNAP near 1.19x; checked at the paper's 32 nodes.

@@ -83,10 +83,25 @@ class BarrierWorkload final : public Workload {
     return {{"latency_us", dv_barrier_us(nodes, fast_barrier, reps)}};
   }
 
-  void run(const RunOptions& opt, runtime::ResultSink& sink) const override {
+  std::vector<RunPoint> plan(const RunOptions& opt) const override {
+    PlanBuilder builder(*this, opt);
+    ParamMap params = default_params(opt.fast);
+    const auto nodes = opt.nodes.empty() ? default_nodes(opt.fast) : opt.nodes;
+    for (const int n : nodes) {
+      params["fast_barrier"] = 0;
+      builder.add(Backend::kDv, n, params, "intrinsic");
+      params["fast_barrier"] = 1;
+      builder.add(Backend::kDv, n, params, "fast_barrier");
+      params["fast_barrier"] = 0;
+      builder.add(Backend::kMpi, n, params);
+    }
+    return builder.take();
+  }
+
+  void report(const RunOptions& opt, const std::vector<PointResult>& results,
+              runtime::ResultSink& sink) const override {
     std::ostream& os = opt.out ? *opt.out : std::cout;
     banner(os);
-    ParamMap params = default_params(opt.fast);
     const auto nodes = opt.nodes.empty() ? default_nodes(opt.fast) : opt.nodes;
 
     runtime::Table t("Fig 4 — barrier latency (us) vs nodes",
@@ -94,23 +109,21 @@ class BarrierWorkload final : public Workload {
     double dv_first = 0, dv_last = 0, mpi_first = 0, mpi_last = 0;
     for (std::size_t i = 0; i < nodes.size(); ++i) {
       const int n = nodes[i];
-      params["fast_barrier"] = 0;
-      auto dv = run_backend(Backend::kDv, n, params);
-      sink.add(make_record(Backend::kDv, n, params, dv, "intrinsic"));
-      params["fast_barrier"] = 1;
-      auto fb = run_backend(Backend::kDv, n, params);
-      sink.add(make_record(Backend::kDv, n, params, fb, "fast_barrier"));
-      params["fast_barrier"] = 0;
-      auto mpi = run_backend(Backend::kMpi, n, params);
-      sink.add(make_record(Backend::kMpi, n, params, mpi));
-      t.row({std::to_string(n), runtime::fmt(dv.at("latency_us")),
-             runtime::fmt(fb.at("latency_us")), runtime::fmt(mpi.at("latency_us"))});
+      const PointResult& dv = results[3 * i];       // intrinsic, fast, mpi triplets
+      const PointResult& fb = results[3 * i + 1];
+      const PointResult& mpi = results[3 * i + 2];
+      sink.add(make_record(dv));
+      sink.add(make_record(fb));
+      sink.add(make_record(mpi));
+      t.row({std::to_string(n), runtime::fmt(dv.metrics.at("latency_us")),
+             runtime::fmt(fb.metrics.at("latency_us")),
+             runtime::fmt(mpi.metrics.at("latency_us"))});
       if (i == 0) {
-        dv_first = dv.at("latency_us");
-        mpi_first = mpi.at("latency_us");
+        dv_first = dv.metrics.at("latency_us");
+        mpi_first = mpi.metrics.at("latency_us");
       }
-      dv_last = dv.at("latency_us");
-      mpi_last = mpi.at("latency_us");
+      dv_last = dv.metrics.at("latency_us");
+      mpi_last = mpi.metrics.at("latency_us");
     }
     t.print(os);
     os << "\npaper anchors: DV nearly constant with node count; MPI rises\n"

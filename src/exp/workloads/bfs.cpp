@@ -11,6 +11,7 @@
 #include "apps/bfs.hpp"
 #include "exp/workload.hpp"
 #include "runtime/cluster.hpp"
+#include "sim/rng.hpp"
 
 namespace dvx::exp {
 namespace {
@@ -58,11 +59,29 @@ class BfsWorkload final : public Workload {
             {"graph_edges", static_cast<double>(r.graph_edges)}};
   }
 
-  void run(const RunOptions& opt, runtime::ResultSink& sink) const override {
+  std::vector<RunPoint> plan(const RunOptions& opt) const override {
+    PlanBuilder builder(*this, opt);
+    ParamMap params = default_params(opt.fast);
+    const auto nodes = opt.nodes.empty() ? default_nodes(opt.fast) : opt.nodes;
+    for (std::size_t i = 0; i < nodes.size(); ++i) {
+      // Each sweep position gets its own SplitMix64 sub-seed of the root
+      // --seed; the DV and MPI points share it so both search the same
+      // graph. Folded to 32 bits so the value survives the double-typed
+      // ParamMap exactly.
+      if (opt.seed != 0) {
+        params["seed"] = static_cast<double>(
+            dvx::sim::derive_seed(opt.seed, static_cast<std::uint64_t>(i)) >> 32);
+      }
+      builder.add(Backend::kDv, nodes[i], params);
+      builder.add(Backend::kMpi, nodes[i], params);
+    }
+    return builder.take();
+  }
+
+  void report(const RunOptions& opt, const std::vector<PointResult>& results,
+              runtime::ResultSink& sink) const override {
     std::ostream& os = opt.out ? *opt.out : std::cout;
     banner(os);
-    ParamMap params = default_params(opt.fast);
-    if (opt.seed != 0) params["seed"] = static_cast<double>(opt.seed);
     const auto nodes = opt.nodes.empty() ? default_nodes(opt.fast) : opt.nodes;
 
     runtime::Table t("Fig 8 — harmonic-mean MTEPS vs nodes",
@@ -71,13 +90,15 @@ class BfsWorkload final : public Workload {
     bool dv_always_ahead = true;
     for (std::size_t i = 0; i < nodes.size(); ++i) {
       const int n = nodes[i];
-      auto dv = run_backend(Backend::kDv, n, params);
-      auto ib = run_backend(Backend::kMpi, n, params);
-      const double ratio = dv.at("harmonic_mean_teps") / ib.at("harmonic_mean_teps");
-      t.row({std::to_string(n), runtime::fmt(dv.at("harmonic_mean_teps") / 1e6),
-             runtime::fmt(ib.at("harmonic_mean_teps") / 1e6), runtime::fmt(ratio)});
-      sink.add(make_record(Backend::kDv, n, params, std::move(dv)));
-      sink.add(make_record(Backend::kMpi, n, params, std::move(ib)));
+      const PointResult& dv = results[2 * i];       // dv/mpi pairs per node count
+      const PointResult& ib = results[2 * i + 1];
+      const double ratio =
+          dv.metrics.at("harmonic_mean_teps") / ib.metrics.at("harmonic_mean_teps");
+      t.row({std::to_string(n), runtime::fmt(dv.metrics.at("harmonic_mean_teps") / 1e6),
+             runtime::fmt(ib.metrics.at("harmonic_mean_teps") / 1e6),
+             runtime::fmt(ratio)});
+      sink.add(make_record(dv));
+      sink.add(make_record(ib));
       sink.add(make_derived_record(n, {{"dv_ib_ratio", ratio}}));
       if (ratio <= 1.0) dv_always_ahead = false;
       if (i == 0) first_ratio = ratio;

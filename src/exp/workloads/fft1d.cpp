@@ -46,10 +46,21 @@ class Fft1dWorkload final : public Workload {
     return {{"roi_seconds", r.seconds}, {"gflops", r.gflops()}};
   }
 
-  void run(const RunOptions& opt, runtime::ResultSink& sink) const override {
+  std::vector<RunPoint> plan(const RunOptions& opt) const override {
+    PlanBuilder builder(*this, opt);
+    const ParamMap params = default_params(opt.fast);
+    const auto nodes = opt.nodes.empty() ? default_nodes(opt.fast) : opt.nodes;
+    for (const int n : nodes) {
+      builder.add(Backend::kDv, n, params);
+      builder.add(Backend::kMpi, n, params);
+    }
+    return builder.take();
+  }
+
+  void report(const RunOptions& opt, const std::vector<PointResult>& results,
+              runtime::ResultSink& sink) const override {
     std::ostream& os = opt.out ? *opt.out : std::cout;
     banner(os);
-    const ParamMap params = default_params(opt.fast);
     const auto nodes = opt.nodes.empty() ? default_nodes(opt.fast) : opt.nodes;
 
     runtime::Table t("Fig 7 — aggregate GFLOPS vs nodes",
@@ -57,13 +68,13 @@ class Fft1dWorkload final : public Workload {
     double first_ratio = 0, last_ratio = 0;
     for (std::size_t i = 0; i < nodes.size(); ++i) {
       const int n = nodes[i];
-      auto dv = run_backend(Backend::kDv, n, params);
-      auto ib = run_backend(Backend::kMpi, n, params);
-      const double ratio = dv.at("gflops") / ib.at("gflops");
-      t.row({std::to_string(n), runtime::fmt(dv.at("gflops")),
-             runtime::fmt(ib.at("gflops")), runtime::fmt(ratio)});
-      sink.add(make_record(Backend::kDv, n, params, std::move(dv)));
-      sink.add(make_record(Backend::kMpi, n, params, std::move(ib)));
+      const PointResult& dv = results[2 * i];       // dv/mpi pairs per node count
+      const PointResult& ib = results[2 * i + 1];
+      const double ratio = dv.metrics.at("gflops") / ib.metrics.at("gflops");
+      t.row({std::to_string(n), runtime::fmt(dv.metrics.at("gflops")),
+             runtime::fmt(ib.metrics.at("gflops")), runtime::fmt(ratio)});
+      sink.add(make_record(dv));
+      sink.add(make_record(ib));
       sink.add(make_derived_record(n, {{"dv_ib_ratio", ratio}}));
       if (i == 0) first_ratio = ratio;
       last_ratio = ratio;

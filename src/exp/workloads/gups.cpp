@@ -59,10 +59,21 @@ class GupsWorkload final : public Workload {
             {"mups_per_pe", r.mups_per_pe(nodes)}};
   }
 
-  void run(const RunOptions& opt, runtime::ResultSink& sink) const override {
+  std::vector<RunPoint> plan(const RunOptions& opt) const override {
+    PlanBuilder builder(*this, opt);
+    const ParamMap params = default_params(opt.fast);
+    const auto nodes = opt.nodes.empty() ? default_nodes(opt.fast) : opt.nodes;
+    for (const int n : nodes) {
+      builder.add(Backend::kDv, n, params);
+      builder.add(Backend::kMpi, n, params);
+    }
+    return builder.take();
+  }
+
+  void report(const RunOptions& opt, const std::vector<PointResult>& results,
+              runtime::ResultSink& sink) const override {
     std::ostream& os = opt.out ? *opt.out : std::cout;
     banner(os);
-    const ParamMap params = default_params(opt.fast);
     const auto nodes = opt.nodes.empty() ? default_nodes(opt.fast) : opt.nodes;
 
     runtime::Table per_pe("Fig 6a — updates per second per PE (MUPS)",
@@ -72,15 +83,15 @@ class GupsWorkload final : public Workload {
     double first_ratio = 0, last_ratio = 0;
     for (std::size_t i = 0; i < nodes.size(); ++i) {
       const int n = nodes[i];
-      auto dv = run_backend(Backend::kDv, n, params);
-      auto ib = run_backend(Backend::kMpi, n, params);
-      const double ratio = dv.at("gups") / ib.at("gups");
-      per_pe.row({std::to_string(n), runtime::fmt(dv.at("mups_per_pe")),
-                  runtime::fmt(ib.at("mups_per_pe"))});
-      agg.row({std::to_string(n), runtime::fmt(dv.at("gups") * 1e3),
-               runtime::fmt(ib.at("gups") * 1e3), runtime::fmt(ratio)});
-      sink.add(make_record(Backend::kDv, n, params, std::move(dv)));
-      sink.add(make_record(Backend::kMpi, n, params, std::move(ib)));
+      const PointResult& dv = results[2 * i];       // dv/mpi pairs per node count
+      const PointResult& ib = results[2 * i + 1];
+      const double ratio = dv.metrics.at("gups") / ib.metrics.at("gups");
+      per_pe.row({std::to_string(n), runtime::fmt(dv.metrics.at("mups_per_pe")),
+                  runtime::fmt(ib.metrics.at("mups_per_pe"))});
+      agg.row({std::to_string(n), runtime::fmt(dv.metrics.at("gups") * 1e3),
+               runtime::fmt(ib.metrics.at("gups") * 1e3), runtime::fmt(ratio)});
+      sink.add(make_record(dv));
+      sink.add(make_record(ib));
       sink.add(make_derived_record(n, {{"dv_ib_ratio", ratio}}));
       if (i == 0) first_ratio = ratio;
       last_ratio = ratio;

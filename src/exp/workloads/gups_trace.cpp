@@ -133,18 +133,33 @@ class GupsTraceWorkload final : public Workload {
     return run_trace(nodes, params, nullptr).metrics;
   }
 
-  void run(const RunOptions& opt, runtime::ResultSink& sink) const override {
+  std::vector<RunPoint> plan(const RunOptions& opt) const override {
+    PlanBuilder builder(*this, opt);
+    const int nodes = opt.nodes.empty() ? default_nodes(opt.fast).front() : opt.nodes.front();
+    builder.add(Backend::kMpi, nodes, default_params(opt.fast));
+    return builder.take();
+  }
+
+  // The figure panels (timeline, state breakdown, message statistics) come
+  // from the same traced run as the metrics, so they are rendered into the
+  // per-point log during execution and replayed by report().
+  MetricMap execute(const RunPoint& point, std::ostream& log) const override {
+    return run_trace(point.nodes, point.params, &log).metrics;
+  }
+
+  void report(const RunOptions& opt, const std::vector<PointResult>& results,
+              runtime::ResultSink& sink) const override {
     std::ostream& os = opt.out ? *opt.out : std::cout;
     banner(os);
-    const ParamMap params = default_params(opt.fast);
-    const int nodes = opt.nodes.empty() ? default_nodes(opt.fast).front() : opt.nodes.front();
-    auto out = run_trace(nodes, params, &os);
+    const PointResult& point = results.front();
+    const int nodes = point.point.nodes;
+    os << point.log;
     os << "\npaper anchor: the zoomed trace shows messages to ever-changing\n"
           "destinations — exactly the low regularity measured above.\n";
 
-    const double update_reg = out.metrics.at("update_level_regularity");
+    const double update_reg = point.metrics.at("update_level_regularity");
     const double uniform = 1.0 / (nodes - 1);
-    sink.add(make_record(Backend::kMpi, nodes, params, std::move(out.metrics)));
+    sink.add(make_record(point));
     sink.add_anchor(make_anchor(
         "no_destination_regularity", update_reg, uniform, update_reg < 2.0 * uniform,
         "update destinations are statistically indistinguishable from uniform scatter"));

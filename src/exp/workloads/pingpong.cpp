@@ -153,11 +153,26 @@ class PingpongWorkload final : public Workload {
     return {{"bytes_per_sec", bw}, {"fraction_of_peak", bw / peak}};
   }
 
-  void run(const RunOptions& opt, runtime::ResultSink& sink) const override {
-    std::ostream& os = opt.out ? *opt.out : std::cout;
-    banner(os);
+  std::vector<RunPoint> plan(const RunOptions& opt) const override {
+    PlanBuilder builder(*this, opt);
     ParamMap params = default_params(opt.fast);
     const int max_log = static_cast<int>(params.at("max_log_words"));
+    for (int lg = 0; lg <= max_log; lg += 2) {
+      params["words"] = static_cast<double>(1LL << lg);
+      for (int p = 0; p < 3; ++p) {
+        params["path"] = p;
+        builder.add(Backend::kDv, 2, params, kPathNames[p]);
+      }
+      builder.add(Backend::kMpi, 2, params);
+    }
+    return builder.take();
+  }
+
+  void report(const RunOptions& opt, const std::vector<PointResult>& results,
+              runtime::ResultSink& sink) const override {
+    std::ostream& os = opt.out ? *opt.out : std::cout;
+    banner(os);
+    const int max_log = static_cast<int>(default_params(opt.fast).at("max_log_words"));
 
     runtime::Table abs("Fig 3a — absolute ping-pong bandwidth (GB/s)",
                        {"words", "DWr/NoCached", "DWr/Cached", "DMA/Cached", "MPI"});
@@ -165,25 +180,18 @@ class PingpongWorkload final : public Workload {
                        {"words", "DWr/NoCached", "DWr/Cached", "DMA/Cached", "MPI"});
     double last_bw[4] = {0, 0, 0, 0};       // per series, at the largest size
     double last_frac[4] = {0, 0, 0, 0};
+    std::size_t r = 0;  // four series per message size, in plan order
     for (int lg = 0; lg <= max_log; lg += 2) {
-      params["words"] = static_cast<double>(1LL << lg);
       std::vector<std::string> abs_row{std::to_string(1LL << lg)};
       std::vector<std::string> rel_row{std::to_string(1LL << lg)};
-      for (int p = 0; p < 3; ++p) {
-        params["path"] = p;
-        auto m = run_backend(Backend::kDv, 2, params);
-        last_bw[p] = m.at("bytes_per_sec");
-        last_frac[p] = m.at("fraction_of_peak");
-        abs_row.push_back(runtime::fmt(last_bw[p] / 1e9, 3));
-        rel_row.push_back(runtime::fmt(100 * last_frac[p], 1));
-        sink.add(make_record(Backend::kDv, 2, params, std::move(m), kPathNames[p]));
+      for (int series = 0; series < 4; ++series, ++r) {
+        const PointResult& point = results[r];
+        last_bw[series] = point.metrics.at("bytes_per_sec");
+        last_frac[series] = point.metrics.at("fraction_of_peak");
+        abs_row.push_back(runtime::fmt(last_bw[series] / 1e9, 3));
+        rel_row.push_back(runtime::fmt(100 * last_frac[series], 1));
+        sink.add(make_record(point));
       }
-      auto m = run_backend(Backend::kMpi, 2, params);
-      last_bw[3] = m.at("bytes_per_sec");
-      last_frac[3] = m.at("fraction_of_peak");
-      abs_row.push_back(runtime::fmt(last_bw[3] / 1e9, 3));
-      rel_row.push_back(runtime::fmt(100 * last_frac[3], 1));
-      sink.add(make_record(Backend::kMpi, 2, params, std::move(m)));
       abs.row(std::move(abs_row));
       rel.row(std::move(rel_row));
     }

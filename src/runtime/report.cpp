@@ -244,9 +244,15 @@ Json AnchorCheck::to_json() const {
   return j;
 }
 
-void ResultSink::add(BenchRecord record) { records_.push_back(std::move(record)); }
+void ResultSink::add(BenchRecord record) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  records_.push_back(std::move(record));
+}
 
-void ResultSink::add_anchor(AnchorCheck anchor) { anchors_.push_back(std::move(anchor)); }
+void ResultSink::add_anchor(AnchorCheck anchor) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  anchors_.push_back(std::move(anchor));
+}
 
 std::vector<std::string> ResultSink::figures() const {
   std::vector<std::string> out;

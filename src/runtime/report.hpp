@@ -12,6 +12,7 @@
 #include <cstdint>
 #include <iosfwd>
 #include <map>
+#include <mutex>
 #include <string>
 #include <string_view>
 #include <utility>
@@ -133,8 +134,30 @@ struct AnchorCheck {
 
 /// Accumulates structured results for one driver invocation and writes the
 /// machine-readable JSON documents alongside the legacy tables.
+///
+/// Appends are mutex-guarded, so concurrently executing measurement points
+/// may record into one sink. Canonical (plan-order) documents are still the
+/// caller's job: the parallel driver appends from the single reporting
+/// thread, in plan order, after all points have executed. The read accessors
+/// return references and must not race with concurrent appends.
 class ResultSink {
  public:
+  ResultSink() = default;
+  // Movable for value-style construction (the mutex is not part of the
+  // value); a move must not race with concurrent appends on either side.
+  ResultSink(ResultSink&& other) noexcept
+      : fast(other.fast),
+        seed(other.seed),
+        records_(std::move(other.records_)),
+        anchors_(std::move(other.anchors_)) {}
+  ResultSink& operator=(ResultSink&& other) noexcept {
+    fast = other.fast;
+    seed = other.seed;
+    records_ = std::move(other.records_);
+    anchors_ = std::move(other.anchors_);
+    return *this;
+  }
+
   /// Document-level context, echoed into every emitted file.
   bool fast = false;
   std::uint64_t seed = 0;  ///< 0 = per-workload defaults were used
@@ -161,6 +184,7 @@ class ResultSink {
  private:
   Json document(const std::vector<const BenchRecord*>& records,
                 const std::vector<const AnchorCheck*>& anchors) const;
+  mutable std::mutex mu_;  ///< guards appends to the two vectors below
   std::vector<BenchRecord> records_;
   std::vector<AnchorCheck> anchors_;
 };

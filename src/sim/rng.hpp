@@ -23,6 +23,15 @@ constexpr std::uint64_t mix64(std::uint64_t x) {
   return splitmix64(s);
 }
 
+/// Derives an independent sub-seed for stream `stream` of a root seed.
+/// Used by the experiment layer to give every planned measurement point its
+/// own RNG stream: the derivation depends only on (root, stream), never on
+/// execution order, so results are identical at any parallelism level.
+constexpr std::uint64_t derive_seed(std::uint64_t root, std::uint64_t stream) {
+  std::uint64_t state = root ^ mix64(stream + 0x9e3779b97f4a7c15ULL);
+  return splitmix64(state);
+}
+
 class Xoshiro256 {
  public:
   using result_type = std::uint64_t;

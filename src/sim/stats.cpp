@@ -54,9 +54,13 @@ double LogHistogram::quantile(double q) const {
   const double target = q * static_cast<double>(total_);
   double seen = 0.0;
   for (std::size_t b = 0; b < buckets_.size(); ++b) {
+    if (buckets_[b] == 0) continue;  // never report a bucket with no mass
+    const double lo = b == 0 ? 0.0 : std::ldexp(1.0, static_cast<int>(b));
+    // q == 0 (target already met): the lower edge of the first bucket with
+    // mass, not the midpoint of whatever empty buckets precede it.
+    if (target <= seen) return lo;
     seen += static_cast<double>(buckets_[b]);
     if (seen >= target) {
-      const double lo = b == 0 ? 0.0 : std::ldexp(1.0, static_cast<int>(b));
       const double hi = std::ldexp(1.0, static_cast<int>(b + 1));
       return (lo + hi) / 2.0;
     }

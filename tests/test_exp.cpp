@@ -1,14 +1,17 @@
 // Tests for the experiment layer: workload registry completeness, parameter
-// resolution, per-point entry points, and the dvx_bench driver end-to-end
-// (CLI parsing, table output, and machine-readable JSON emission).
+// resolution, per-point entry points, the plan/execute/report split with its
+// parallel point scheduler, and the dvx_bench driver end-to-end (CLI
+// parsing, table output, and machine-readable JSON emission).
 
 #include <gtest/gtest.h>
 
 #include <cstdio>
 #include <fstream>
 #include <sstream>
+#include <stdexcept>
 
 #include "exp/driver.hpp"
+#include "exp/scheduler.hpp"
 #include "exp/workload.hpp"
 #include "json_lite.hpp"
 
@@ -95,6 +98,48 @@ TEST(Driver, RejectsUnknownArgumentsAndFigures) {
   EXPECT_EQ(cli({}), 2);  // no selection
 }
 
+TEST(Driver, RejectsNumbersWithTrailingGarbage) {
+  // std::stoi used to accept "8x" as 8; strict parsing must refuse it.
+  EXPECT_EQ(cli({"--figure", "fig4", "--fast", "--nodes", "8x"}), 2);
+  EXPECT_EQ(cli({"--figure", "fig4", "--fast", "--seed", "7q"}), 2);
+  EXPECT_EQ(cli({"--figure", "fig4", "--fast", "--jobs", "2x"}), 2);
+}
+
+TEST(Driver, RejectsNegativeSeedInsteadOfWrapping) {
+  // std::stoull used to wrap "-1" to 2^64-1.
+  EXPECT_EQ(cli({"--figure", "fig4", "--fast", "--seed", "-1"}), 2);
+}
+
+TEST(Driver, RejectsEmptyCsvFieldsInsteadOfDroppingThem) {
+  EXPECT_EQ(cli({"--figure", "fig4", "--fast", "--nodes", "4,,8"}), 2);
+  EXPECT_EQ(cli({"--figure", "fig4", "--fast", "--nodes", ",4"}), 2);
+  EXPECT_EQ(cli({"--figure", "fig4", "--fast", "--nodes", "4,"}), 2);
+  EXPECT_EQ(cli({"--figure", "fig4,,fig6"}), 2);
+}
+
+TEST(Driver, RejectsBadJobsValues) {
+  EXPECT_EQ(cli({"--figure", "fig4", "--fast", "--jobs", "0"}), 2);
+  EXPECT_EQ(cli({"--figure", "fig4", "--fast", "--jobs", "-3"}), 2);
+}
+
+TEST(Driver, HelpWinsButDoesNotSwallowGarbage) {
+  EXPECT_EQ(cli({"--help"}), 0);
+  EXPECT_EQ(cli({"--help", "--figure", "fig4"}), 0);  // help wins, nothing runs
+  // --help used to return early from parsing, silently accepting any
+  // arguments after it; they must still be validated.
+  EXPECT_EQ(cli({"--help", "--bogus"}), 2);
+  EXPECT_EQ(cli({"--help", "--nodes", "8x"}), 2);
+}
+
+TEST(Driver, JsonWithoutSelectionPrintsUsage) {
+  const std::string path = ::testing::TempDir() + "/dvx_bench_no_selection.json";
+  std::remove(path.c_str());
+  EXPECT_EQ(cli({"--json", path.c_str()}), 2);
+  // Usage error: the combined document must not have been written.
+  std::ifstream in(path);
+  EXPECT_FALSE(in.good());
+}
+
 TEST(Driver, ListSucceeds) { EXPECT_EQ(cli({"--list"}), 0); }
 
 TEST(Driver, FigureRunEmitsValidJsonMatchingTheTables) {
@@ -139,6 +184,152 @@ TEST(Driver, WritesPerFigureBenchFile) {
   const std::string doc = slurp(dir + "/BENCH_fig4.json");
   EXPECT_TRUE(is_valid_json(doc));
   EXPECT_NE(doc.find("\"figure\": \"fig4\""), std::string::npos);
+}
+
+// -- parallel point execution ------------------------------------------------
+
+TEST(Scheduler, RunsEveryTaskExactlyOnce) {
+  std::vector<int> hits(257, 0);
+  std::vector<std::function<void()>> tasks;
+  for (std::size_t i = 0; i < hits.size(); ++i) {
+    tasks.push_back([&hits, i] { ++hits[i]; });  // disjoint slots, no race
+  }
+  exp::PointScheduler(4).run(tasks);
+  for (int h : hits) EXPECT_EQ(h, 1);
+  EXPECT_EQ(exp::PointScheduler(0).jobs(), 1);  // clamped
+  EXPECT_GE(exp::PointScheduler::default_jobs(), 1);
+}
+
+/// Runs `figures` through the parallel driver and returns the combined
+/// JSON document plus the concatenated table output.
+std::pair<std::string, std::string> run_parallel(
+    const std::vector<std::string>& figures, int jobs, std::uint64_t seed = 0) {
+  std::vector<const exp::Workload*> selected;
+  for (const auto& f : figures) {
+    const auto* w = exp::Registry::instance().find(f);
+    EXPECT_NE(w, nullptr) << f;
+    selected.push_back(w);
+  }
+  std::ostringstream tables;
+  exp::RunOptions opt;
+  opt.fast = true;
+  opt.nodes = {2, 4};
+  opt.seed = seed;
+  opt.out = &tables;
+  dvx::runtime::ResultSink sink;
+  sink.fast = opt.fast;
+  sink.seed = opt.seed;
+  EXPECT_EQ(exp::run_workloads(selected, opt, jobs, sink), 0);
+  return {sink.to_json().dump(2), tables.str()};
+}
+
+TEST(Parallel, JobsLevelDoesNotChangeJsonOrTables) {
+  // fig4 (three variants per node count), fig6 (dv/mpi pairs + derived
+  // ratios), fig8 (consumes the root --seed): byte-identical documents and
+  // tables at --jobs 1 vs --jobs 4, including derived sub-seeds.
+  const auto serial = run_parallel({"fig4", "fig6", "fig8"}, 1, 1234);
+  const auto parallel = run_parallel({"fig4", "fig6", "fig8"}, 4, 1234);
+  EXPECT_FALSE(serial.first.empty());
+  EXPECT_EQ(serial.first, parallel.first);
+  EXPECT_EQ(serial.second, parallel.second);
+  EXPECT_TRUE(is_valid_json(parallel.first));
+  // The root seed is echoed at document level.
+  EXPECT_NE(parallel.first.find("\"seed\": 1234"), std::string::npos);
+}
+
+/// Two points; the 2-node one throws during execution.
+class FailingWorkload final : public exp::Workload {
+ public:
+  std::string name() const override { return "failing"; }
+  std::string figure() const override { return "failing_fig"; }
+  std::string title() const override { return "synthetic failing workload"; }
+  std::string paper_anchor() const override { return "none"; }
+  std::vector<exp::ParamSpec> param_specs() const override { return {}; }
+  std::vector<exp::MetricSpec> metric_specs() const override {
+    return {{"value", "", "synthetic metric"}};
+  }
+  exp::MetricMap run_backend(exp::Backend, int nodes,
+                             const exp::ParamMap&) const override {
+    if (nodes == 2) throw std::runtime_error("injected point failure");
+    return {{"value", static_cast<double>(nodes)}};
+  }
+  std::vector<exp::RunPoint> plan(const exp::RunOptions& opt) const override {
+    exp::PlanBuilder builder(*this, opt);
+    builder.add(exp::Backend::kDv, 2, {});
+    builder.add(exp::Backend::kDv, 4, {});
+    return builder.take();
+  }
+  void report(const exp::RunOptions&, const std::vector<exp::PointResult>& results,
+              dvx::runtime::ResultSink& sink) const override {
+    for (const auto& r : results) sink.add(make_record(r));
+  }
+};
+
+TEST(Parallel, ThrowingPointFailsOnlyItsOwnFigure) {
+  FailingWorkload failing;
+  const auto* fig4 = exp::Registry::instance().find("fig4");
+  ASSERT_NE(fig4, nullptr);
+  std::ostringstream tables;
+  exp::RunOptions opt;
+  opt.fast = true;
+  opt.nodes = {2};
+  opt.out = &tables;
+  dvx::runtime::ResultSink sink;
+  int reported = 0, reported_ok = 0;
+  const int failures = exp::run_workloads(
+      {&failing, fig4}, opt, 4, sink, [&](const exp::Workload&, bool ok) {
+        ++reported;
+        reported_ok += ok ? 1 : 0;
+      });
+  EXPECT_EQ(failures, 1);
+  EXPECT_EQ(reported, 2);
+  EXPECT_EQ(reported_ok, 1);
+  // The sibling figure still produced its full canonical record set; the
+  // failed figure produced none.
+  bool any_failing = false, any_fig4 = false;
+  for (const auto& r : sink.records()) {
+    any_failing |= r.figure == "failing_fig";
+    any_fig4 |= r.figure == "fig4";
+  }
+  EXPECT_FALSE(any_failing);
+  EXPECT_TRUE(any_fig4);
+}
+
+TEST(Parallel, SequentialRunSurfacesPointFailuresAfterSiblingsRan) {
+  FailingWorkload failing;
+  exp::RunOptions opt;
+  std::ostringstream tables;
+  opt.out = &tables;
+  dvx::runtime::ResultSink sink;
+  EXPECT_THROW(failing.run(opt, sink), std::runtime_error);
+  EXPECT_TRUE(sink.records().empty());
+}
+
+TEST(Parallel, SubSeedsAreDerivedPerPointAndStable) {
+  const auto* fig8 = exp::Registry::instance().find("fig8");
+  ASSERT_NE(fig8, nullptr);
+  exp::RunOptions opt;
+  opt.fast = true;
+  opt.nodes = {2, 4};
+  opt.seed = 99;
+  const auto plan_a = fig8->plan(opt);
+  const auto plan_b = fig8->plan(opt);
+  ASSERT_EQ(plan_a.size(), 4u);  // dv/mpi pairs at two node counts
+  for (std::size_t i = 0; i < plan_a.size(); ++i) {
+    EXPECT_EQ(plan_a[i].seed, plan_b[i].seed) << i;   // stable across plans
+    EXPECT_NE(plan_a[i].seed, 0u) << i;
+  }
+  EXPECT_NE(plan_a[0].seed, plan_a[1].seed);  // distinct streams per point
+  // The dv/mpi pair at one node count searches the same graph...
+  EXPECT_EQ(plan_a[0].params.at("seed"), plan_a[1].params.at("seed"));
+  // ...and different node counts get different graphs, none the default 2.
+  EXPECT_NE(plan_a[0].params.at("seed"), plan_a[2].params.at("seed"));
+  EXPECT_NE(plan_a[0].params.at("seed"), 2.0);
+  // Without a root seed, sub-seeds stay unset and defaults apply.
+  opt.seed = 0;
+  const auto plan_default = fig8->plan(opt);
+  EXPECT_EQ(plan_default[0].seed, 0u);
+  EXPECT_EQ(plan_default[0].params.at("seed"), 2.0);
 }
 
 }  // namespace

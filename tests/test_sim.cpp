@@ -222,6 +222,32 @@ TEST(Stats, RunningStatsMatchesClosedForm) {
   EXPECT_DOUBLE_EQ(s.total(), 15.0);
 }
 
+TEST(Stats, MergeEdgeCasesMatchOneShotAccumulation) {
+  // Merging into an empty accumulator equals the one-shot result exactly.
+  sim::RunningStats one_shot, empty, filled;
+  for (double x : {4.0, -1.0, 2.5}) {
+    one_shot.add(x);
+    filled.add(x);
+  }
+  empty.merge(filled);
+  EXPECT_EQ(empty.count(), one_shot.count());
+  EXPECT_DOUBLE_EQ(empty.mean(), one_shot.mean());
+  EXPECT_DOUBLE_EQ(empty.variance(), one_shot.variance());
+  EXPECT_DOUBLE_EQ(empty.min(), one_shot.min());
+  EXPECT_DOUBLE_EQ(empty.max(), one_shot.max());
+  EXPECT_DOUBLE_EQ(empty.total(), one_shot.total());
+  // Merging an empty accumulator is a no-op.
+  sim::RunningStats nothing;
+  filled.merge(nothing);
+  EXPECT_EQ(filled.count(), one_shot.count());
+  EXPECT_DOUBLE_EQ(filled.mean(), one_shot.mean());
+  EXPECT_DOUBLE_EQ(filled.variance(), one_shot.variance());
+  // Two empties stay empty (and harmless).
+  nothing.merge(sim::RunningStats{});
+  EXPECT_EQ(nothing.count(), 0u);
+  EXPECT_DOUBLE_EQ(nothing.mean(), 0.0);
+}
+
 TEST(Stats, MergeEqualsSinglePass) {
   sim::Xoshiro256 r(5);
   sim::RunningStats all, a, b;
@@ -251,6 +277,24 @@ TEST(Stats, LogHistogramBucketsAndQuantiles) {
   EXPECT_EQ(h.buckets()[1], 2u);  // 2,3
   EXPECT_EQ(h.buckets()[2], 1u);  // 4
   EXPECT_GT(h.quantile(0.99), 500.0);
+}
+
+TEST(Stats, LogHistogramZeroQuantileSkipsEmptyLeadingBuckets) {
+  // All mass in bucket 2 ([4,8)): q=0 must report that bucket's lower edge,
+  // not the midpoint of the empty leading bucket 0.
+  sim::LogHistogram h;
+  h.add(4);
+  h.add(5);
+  EXPECT_DOUBLE_EQ(h.quantile(0.0), 4.0);
+  // Quantiles with mass behind them still use the bucket midpoint.
+  EXPECT_DOUBLE_EQ(h.quantile(0.5), 6.0);
+  EXPECT_DOUBLE_EQ(h.quantile(1.0), 6.0);
+  // With mass in bucket 0, q=0 is that bucket's lower edge (zero).
+  sim::LogHistogram h0;
+  h0.add(1);
+  EXPECT_DOUBLE_EQ(h0.quantile(0.0), 0.0);
+  // An empty histogram stays at zero.
+  EXPECT_DOUBLE_EQ(sim::LogHistogram{}.quantile(0.0), 0.0);
 }
 
 TEST(Trace, SummaryAndRegularity) {
