@@ -5,6 +5,7 @@
 
 #include "apps/bfs.hpp"
 #include "apps/bfs_common.hpp"
+#include "check/check.hpp"
 #include "dvapi/collectives.hpp"
 #include "sim/stats.hpp"
 
@@ -96,11 +97,17 @@ BfsResult run_bfs_dv(runtime::Cluster& cluster, const BfsParams& params) {
         for (int peer = 0; peer < p; ++peer) {
           if (peer != ctx.rank()) expected += counts[static_cast<std::size_t>(peer)];
         }
+        DVX_CHECK(received <= expected)
+            << "candidates received before the counts were exchanged exceed "
+               "the announced total. ";
         while (received < expected) {
           const auto pkts = co_await ctx.fifo_wait();
           for (const auto& pkt : pkts) absorb(pkt.payload);
           received += pkts.size();
         }
+        // Candidate conservation per BFS level: every remote candidate aimed
+        // at this rank arrived exactly once, none were fabricated.
+        DVX_CHECK_EQ(received, expected) << "BFS candidate conservation violated. ";
         co_await node.compute_random(static_cast<double>(received));
 
         const auto total_next = co_await dvapi::allreduce_sum(

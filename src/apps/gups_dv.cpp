@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "apps/gups.hpp"
+#include "check/check.hpp"
 #include "dvapi/collectives.hpp"
 #include "kernels/gups_table.hpp"
 
@@ -73,9 +74,14 @@ sim::Coro<void> gups_pass_dv(dvx::dvapi::DvContext& ctx, runtime::NodeCtx& node,
   for (int peer = 0; peer < n; ++peer) {
     if (peer != rank) expected += counts[static_cast<std::size_t>(peer)];
   }
+  DVX_CHECK_EQ(counts[static_cast<std::size_t>(rank)], sent_to[static_cast<std::size_t>(rank)])
+      << "alltoall corrupted the self count. ";
   while (received < expected) {
     co_await drain(co_await ctx.fifo_wait());
   }
+  // Update conservation: every remote update aimed at this rank arrived,
+  // and no phantom update was applied.
+  DVX_CHECK_EQ(received, expected) << "GUPS update conservation violated. ";
   co_await ctx.barrier();
 }
 

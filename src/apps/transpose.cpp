@@ -4,6 +4,8 @@
 #include <bit>
 #include <stdexcept>
 
+#include "check/check.hpp"
+
 namespace dvx::apps {
 
 namespace {
@@ -23,7 +25,6 @@ sim::Coro<std::vector<kernels::Complex>> transpose_mpi(
     mpi::Comm comm, runtime::NodeCtx& node, std::span<const kernels::Complex> local,
     std::int64_t rows, std::int64_t cols, int tag) {
   const int p = comm.size();
-  const int rank = comm.rank();
   check_shape(local.size(), rows, cols, p);
   const std::int64_t rows_local = rows / p;
   const std::int64_t cols_block = cols / p;
@@ -53,6 +54,10 @@ sim::Coro<std::vector<kernels::Complex>> transpose_mpi(
       static_cast<std::size_t>(cols_block * rows));
   for (int peer = 0; peer < p; ++peer) {
     const auto& blk = recv[static_cast<std::size_t>(peer)];
+    // Block conservation: each peer contributes exactly its rows_local x
+    // cols_block band, two words per element — no truncation in alltoall.
+    DVX_CHECK_EQ(blk.size(), static_cast<std::size_t>(rows_local * cols_block * 2))
+        << "transpose_mpi: peer " << peer << " block truncated. ";
     std::size_t idx = 0;
     for (std::int64_t r = 0; r < rows_local; ++r) {
       const std::int64_t gr = static_cast<std::int64_t>(peer) * rows_local + r;
@@ -146,6 +151,16 @@ sim::Coro<std::vector<kernels::Complex>> transpose_dv(
       }
     }
   }
+  // Word conservation across the scatter: what this rank puts on the wire
+  // (its rows minus the self block) must equal what each receiver's group
+  // counters were armed for ((rows - rows_local) * cols_block words per
+  // rank) — the sender- and receiver-side accountings of the same traffic.
+  DVX_CHECK_EQ(batch.size(),
+               static_cast<std::size_t>(rows_local * (cols - cols_block) * 2))
+      << "transpose_dv: scatter batch does not cover the remote blocks. ";
+  DVX_CHECK_EQ(static_cast<std::uint64_t>(rows_local * (cols - cols_block) * 2),
+               static_cast<std::uint64_t>((rows - rows_local) * cols_block * 2))
+      << "transpose_dv: sender/receiver word accounting diverged. ";
   co_await ctx.send_dma_batch(batch);
 
   // Drain group by group: each read overlaps the later groups' arrivals.

@@ -1,0 +1,26 @@
+#pragma once
+// Invariant-audit hook interface (DESIGN.md §7).
+//
+// Components whose invariants only hold at epoch boundaries (conservation
+// totals split across in-flight state, order-tracking maps) implement
+// InvariantAuditor and register with the owning sim::Engine. The engine
+// invokes audit() every `audit_interval` dispatched events (default: 4096
+// when the library is built at DVX_CHECK_LEVEL >= 2, disabled otherwise —
+// see check::default_audit_interval) and once more when the event queue
+// drains, so short runs are audited too. Audit bodies are made of DVX_CHECK
+// / DVX_CHECK_SOON statements and must not mutate simulation state.
+
+#include <cstdint>
+
+namespace dvx::check {
+
+class InvariantAuditor {
+ public:
+  virtual ~InvariantAuditor() = default;
+
+  /// Verifies the component's epoch invariants at virtual time `now_ps`.
+  /// Must be observational: no simulation state may change.
+  virtual void audit(std::int64_t now_ps) = 0;
+};
+
+}  // namespace dvx::check

@@ -1,0 +1,68 @@
+#include "check/check.hpp"
+
+#include <atomic>
+#include <iostream>
+#include <sstream>
+
+namespace dvx::check {
+
+namespace {
+
+void default_handler(const Failure& failure) {
+  std::cerr << format(failure) << std::flush;
+}
+
+std::atomic<Handler> g_handler{&default_handler};
+
+}  // namespace
+
+Context& context() noexcept {
+  thread_local Context ctx;
+  return ctx;
+}
+
+std::string format(const Failure& failure) {
+  std::ostringstream os;
+  os << "DVX_CHECK failed: " << failure.expression << "\n";
+  os << "  at " << failure.file << ":" << failure.line << "\n";
+  if (!failure.message.empty()) os << "  detail: " << failure.message << "\n";
+  if (failure.sim_time_ps >= 0) {
+    os << "  sim time: " << failure.sim_time_ps << " ps\n";
+  }
+  if (failure.node >= 0) os << "  node: " << failure.node << "\n";
+  if (!failure.backend.empty()) os << "  backend: " << failure.backend << "\n";
+  return os.str();
+}
+
+CheckError::CheckError(Failure failure)
+    : std::logic_error(format(failure)), failure_(std::move(failure)) {}
+
+Handler set_handler(Handler handler) noexcept {
+  if (handler == nullptr) handler = &default_handler;
+  return g_handler.exchange(handler);
+}
+
+void fail(const char* expression, const char* file, int line,
+          const std::string& message) {
+  Failure failure;
+  failure.expression = expression;
+  failure.file = file;
+  failure.line = line;
+  failure.message = message;
+  const Context& ctx = context();
+  failure.sim_time_ps = ctx.sim_time_ps;
+  failure.node = ctx.node;
+  failure.backend = ctx.backend;
+  g_handler.load()(failure);
+  // A handler that returns still aborts the violating run: an invariant
+  // violation must never continue silently.
+  throw CheckError(std::move(failure));
+}
+
+int compiled_level() noexcept { return DVX_CHECK_LEVEL; }
+
+std::uint64_t default_audit_interval() noexcept {
+  return DVX_CHECK_LEVEL >= 2 ? 4096 : 0;
+}
+
+}  // namespace dvx::check

@@ -1,0 +1,194 @@
+#pragma once
+// Build-gated invariant checks for the simulator core (DESIGN.md §7).
+//
+// Three levels, selected per translation unit by DVX_CHECK_LEVEL (CMake
+// option of the same name; the default is 1):
+//   0 — every macro compiles to nothing; the condition is type-checked but
+//       never evaluated (zero runtime cost, for calibrated perf sweeps).
+//   1 — DVX_CHECK / DVX_CHECK_EQ are live: cheap O(1) invariants on hot
+//       paths plus explicit audit entry points. On in release builds.
+//   2 — additionally DVX_CHECK_SOON is live: expensive audit-epoch checks
+//       (full conservation scans, per-packet position legality, FIFO-order
+//       tracking maps), and the engine/fabric automatic audit cadences
+//       default on. Used by tests and the CI check-level-2 sweep.
+//
+// A failed check builds a structured Failure (expression, file:line,
+// message, simulated time, node id, backend) from the thread-local Context
+// maintained by the engine and cluster, hands it to the installed handler
+// (default: print a structured report to stderr, then throw CheckError),
+// and — macros only ever *observe* state — never mutates simulation state,
+// so benchmark output is byte-identical across check levels.
+//
+// Style: DVX_CHECK(cond) << "extra context " << value; the message stream
+// is only evaluated on failure. Checks belong in .cpp files (or test TUs),
+// never in shared headers, so one build has one coherent level per library.
+
+#include <cstdint>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+#ifndef DVX_CHECK_LEVEL
+#define DVX_CHECK_LEVEL 1
+#endif
+
+#if DVX_CHECK_LEVEL < 0 || DVX_CHECK_LEVEL > 2
+#error "DVX_CHECK_LEVEL must be 0, 1, or 2"
+#endif
+
+namespace dvx::check {
+
+/// Everything known about one failed invariant.
+struct Failure {
+  std::string expression;  ///< stringified condition
+  std::string file;
+  int line = 0;
+  std::string message;      ///< streamed extra context ("" = none)
+  std::int64_t sim_time_ps = -1;  ///< virtual time; -1 = no engine running
+  int node = -1;                  ///< simulated node id; -1 = unknown
+  std::string backend;            ///< "dv", "mpi", or "" when outside a run
+};
+
+/// Human-readable multi-line report (also embedded in CheckError::what()).
+std::string format(const Failure& failure);
+
+/// Thrown by the default handler (and by fail() when a custom handler
+/// returns without throwing nothing is rethrown — see set_handler).
+class CheckError : public std::logic_error {
+ public:
+  explicit CheckError(Failure failure);
+  const Failure& failure() const noexcept { return failure_; }
+
+ private:
+  Failure failure_;
+};
+
+/// Per-thread context stamped into failures. The engine keeps sim_time_ps
+/// current; ScopedNode / ScopedBackend scope the other two fields.
+struct Context {
+  std::int64_t sim_time_ps = -1;
+  int node = -1;
+  const char* backend = "";
+};
+Context& context() noexcept;
+
+/// RAII: names the simulated node whose invariants run in this scope.
+class ScopedNode {
+ public:
+  explicit ScopedNode(int node) noexcept : prev_(context().node) {
+    context().node = node;
+  }
+  ~ScopedNode() { context().node = prev_; }
+  ScopedNode(const ScopedNode&) = delete;
+  ScopedNode& operator=(const ScopedNode&) = delete;
+
+ private:
+  int prev_;
+};
+
+/// RAII: names the backend ("dv" / "mpi") active in this scope.
+class ScopedBackend {
+ public:
+  explicit ScopedBackend(const char* backend) noexcept
+      : prev_(context().backend) {
+    context().backend = backend;
+  }
+  ~ScopedBackend() { context().backend = prev_; }
+  ScopedBackend(const ScopedBackend&) = delete;
+  ScopedBackend& operator=(const ScopedBackend&) = delete;
+
+ private:
+  const char* prev_;
+};
+
+/// Failure sink. The handler may throw (aborting the simulated run with its
+/// own exception) or return, in which case fail() throws CheckError — an
+/// invariant violation never continues silently. Returns the previous
+/// handler; pass nullptr to restore the default. Process-global: tests that
+/// install a capturing handler must restore it (see ScopedHandler).
+using Handler = void (*)(const Failure&);
+Handler set_handler(Handler handler) noexcept;
+
+/// RAII handler swap for tests.
+class ScopedHandler {
+ public:
+  explicit ScopedHandler(Handler handler) noexcept
+      : prev_(set_handler(handler)) {}
+  ~ScopedHandler() { set_handler(prev_); }
+  ScopedHandler(const ScopedHandler&) = delete;
+  ScopedHandler& operator=(const ScopedHandler&) = delete;
+
+ private:
+  Handler prev_;
+};
+
+/// Builds the Failure from the thread-local context and dispatches it.
+/// Always throws (CheckError unless the handler threw first).
+[[noreturn]] void fail(const char* expression, const char* file, int line,
+                       const std::string& message);
+
+/// The check level check.cpp itself was compiled at — the library's level,
+/// which governs engine/fabric audit-cadence defaults at runtime.
+int compiled_level() noexcept;
+
+/// Default automatic audit cadence (events between engine audit sweeps):
+/// nonzero only when the library is compiled at level >= 2.
+std::uint64_t default_audit_interval() noexcept;
+
+namespace detail {
+
+/// Accumulates the streamed failure message; fired by Voidify::operator&.
+class FailStream {
+ public:
+  FailStream(const char* expression, const char* file, int line) noexcept
+      : expression_(expression), file_(file), line_(line) {}
+  template <typename T>
+  FailStream& operator<<(const T& v) {
+    os_ << v;
+    return *this;
+  }
+  const char* expression_;
+  const char* file_;
+  int line_;
+  std::ostringstream os_;
+};
+
+struct Voidify {
+  [[noreturn]] void operator&(FailStream& s) {
+    fail(s.expression_, s.file_, s.line_, s.os_.str());
+  }
+  [[noreturn]] void operator&(FailStream&& s) {
+    fail(s.expression_, s.file_, s.line_, s.os_.str());
+  }
+};
+
+}  // namespace detail
+}  // namespace dvx::check
+
+// The ternary keeps the condition and the message stream fully type-checked
+// at every level while guaranteeing neither is evaluated when the check is
+// compiled out (the constant fold removes the dead branch). `&` binds looser
+// than `<<`, so trailing `<< ...` message parts attach to the FailStream.
+#define DVX_CHECK_AT_(level, cond)                                         \
+  ((DVX_CHECK_LEVEL < (level)) || (cond))                                  \
+      ? (void)0                                                            \
+      : ::dvx::check::detail::Voidify{} &                                  \
+            ::dvx::check::detail::FailStream(#cond, __FILE__, __LINE__)
+
+/// Cheap O(1) invariant; live at DVX_CHECK_LEVEL >= 1.
+#define DVX_CHECK(cond) DVX_CHECK_AT_(1, cond)
+
+/// Equality invariant reporting both operands; live at level >= 1.
+#define DVX_CHECK_EQ(a, b)                                                 \
+  DVX_CHECK_AT_(1, (a) == (b)) << "lhs " #a " = " << (a) << ", rhs " #b    \
+                               << " = " << (b) << ". "
+
+/// Audit-epoch invariant — a condition that need only hold "soon" (at the
+/// next audit epoch, e.g. conservation totals that are transiently split
+/// across in-flight state). Expensive; live only at level >= 2.
+#define DVX_CHECK_SOON(cond) DVX_CHECK_AT_(2, cond)
+
+/// Equality form of DVX_CHECK_SOON.
+#define DVX_CHECK_SOON_EQ(a, b)                                            \
+  DVX_CHECK_AT_(2, (a) == (b)) << "lhs " #a " = " << (a) << ", rhs " #b    \
+                               << " = " << (b) << ". "

@@ -1,7 +1,9 @@
 #include "dvnet/cycle_switch.hpp"
 
-#include <cassert>
+#include <algorithm>
 #include <stdexcept>
+
+#include "check/check.hpp"
 
 namespace dvx::dvnet {
 
@@ -52,12 +54,20 @@ void CycleSwitch::step() {
     CyclePacket& p = packets_[slot];
     const int dst_h = geometry_.port_height(p.dst_port);
     const int dst_a = geometry_.port_angle(p.dst_port);
-    assert(p.height == dst_h && "innermost packets are height-routed");
+    DVX_CHECK(p.height == dst_h) << "innermost packets are height-routed: "
+                                 << "height=" << p.height << " dst=" << dst_h;
     if (p.height == dst_h && p.angle == dst_a) {
+      // Ejection legality: one hop per in-fabric cycle, deflections are a
+      // subset of hops (the (C,H,A) traversal bound per audit epoch).
+      DVX_CHECK_EQ(cycle_ - p.inject_cycle, static_cast<std::uint64_t>(p.hops) + 1)
+          << "hop count out of sync with in-fabric age. ";
+      DVX_CHECK(p.deflections <= p.hops)
+          << "deflections=" << p.deflections << " hops=" << p.hops;
       deliveries_.push_back(Delivery{p.src_port, p.dst_port, p.tag, p.inject_cycle, cycle_,
                                      p.hops, p.deflections});
       free_slots_.push_back(slot);
       --in_flight_;
+      ++delivered_;
       continue;
     }
     p.angle = next_angle(p.angle);
@@ -121,10 +131,14 @@ void CycleSwitch::step() {
     }
     occupancy_next_[node] = slot + 1;
     ++in_flight_;
+    ++injected_;
   }
 
   occupancy_.swap(occupancy_next_);
   ++cycle_;
+#if DVX_CHECK_LEVEL >= 2
+  if (cycle_ % kAuditCycles == 0) audit_invariants();
+#endif
 }
 
 bool CycleSwitch::drain(std::uint64_t max_cycles) {
@@ -133,7 +147,70 @@ bool CycleSwitch::drain(std::uint64_t max_cycles) {
     if (cycle_ >= limit) return false;
     step();
   }
+#if DVX_CHECK_LEVEL >= 1
+  audit_invariants();
+  DVX_CHECK_EQ(injected_, delivered_) << "drained fabric lost packets. ";
+#endif
   return true;
+}
+
+void CycleSwitch::audit_invariants() const {
+  // Packet conservation: every packet ever injected is delivered or still
+  // occupies exactly one fabric node, and the slot slab is fully accounted.
+  std::size_t occupied = 0;
+  for (std::uint32_t cell : occupancy_) {
+    if (cell != 0) ++occupied;
+  }
+  DVX_CHECK_EQ(occupied, in_flight_) << "occupancy grid out of sync. ";
+  DVX_CHECK_EQ(injected_, delivered_ + in_flight_)
+      << "packet conservation violated at cycle " << cycle_ << ". ";
+  DVX_CHECK_EQ(free_slots_.size() + in_flight_, packets_.size())
+      << "slot slab leak. ";
+
+  // Per-packet routing legality (expensive: O(nodes); level-2 audits only).
+  const int kC = geometry_.cylinders();
+  const int kBits = geometry_.height_bits();
+  for (std::size_t node = 0; node < occupancy_.size(); ++node) {
+    const std::uint32_t slot1 = occupancy_[node];
+    if (slot1 == 0) continue;
+    DVX_CHECK_SOON(slot1 - 1 < packets_.size()) << "dangling slot reference";
+    const CyclePacket& p = packets_[slot1 - 1];
+    DVX_CHECK_SOON(p.cylinder >= 0 && p.cylinder < kC &&      //
+                   p.height >= 0 && p.height < geometry_.heights &&
+                   p.angle >= 0 && p.angle < geometry_.angles)
+        << "packet position out of range: c=" << p.cylinder << " h=" << p.height
+        << " a=" << p.angle;
+    DVX_CHECK_SOON(static_cast<std::size_t>(
+                       node_index(p.cylinder, p.height, p.angle)) == node)
+        << "packet position disagrees with its occupancy cell";
+    // Deflection legality: a cylinder-c packet has its c most-significant
+    // height bits routed, and a deflection never undoes a routed bit.
+    const int dst_h = geometry_.port_height(p.dst_port);
+    DVX_CHECK_SOON((p.height >> (kBits - p.cylinder)) ==
+                   (dst_h >> (kBits - p.cylinder)))
+        << "routed height-bit prefix lost: c=" << p.cylinder
+        << " h=" << p.height << " dst_h=" << dst_h;
+    DVX_CHECK_SOON(p.deflections <= p.hops);
+    // One hop per in-fabric cycle: age bounds the traversal exactly.
+    DVX_CHECK_SOON_EQ(static_cast<std::uint64_t>(p.hops),
+                      cycle_ - p.inject_cycle - 1)
+        << "in-flight hop count out of sync with age. ";
+  }
+}
+
+void CycleSwitch::audit(std::int64_t now_ps) {
+  (void)now_ps;  // the fabric keeps its own cycle clock
+  audit_invariants();
+}
+
+bool CycleSwitch::corrupt_drop_one_for_test() {
+  for (auto& cell : occupancy_) {
+    if (cell != 0) {
+      cell = 0;  // the packet vanishes; counters now disagree with the grid
+      return true;
+    }
+  }
+  return false;
 }
 
 sim::RunningStats CycleSwitch::latency_stats() const {

@@ -15,6 +15,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "check/audit.hpp"
 #include "dvnet/geometry.hpp"
 #include "sim/stats.hpp"
 
@@ -44,7 +45,7 @@ struct Delivery {
   int deflections;
 };
 
-class CycleSwitch {
+class CycleSwitch : public check::InvariantAuditor {
  public:
   explicit CycleSwitch(Geometry geometry);
 
@@ -66,6 +67,28 @@ class CycleSwitch {
   std::size_t queued() const;
   const std::vector<Delivery>& deliveries() const noexcept { return deliveries_; }
 
+  /// Packets that entered the fabric / were ejected since construction.
+  std::uint64_t injected_total() const noexcept { return injected_; }
+  std::uint64_t delivered_total() const noexcept { return delivered_; }
+
+  /// Verifies the fabric's epoch invariants (DESIGN.md §7): packet
+  /// conservation (injected == delivered + in-flight, occupancy grid in
+  /// sync with the counters, slot slab accounted for) and, at
+  /// DVX_CHECK_LEVEL >= 2, per-packet routing legality (position in range,
+  /// the c most-significant height bits of a cylinder-c packet match its
+  /// destination, hop count consistent with its age). Runs automatically
+  /// every kAuditCycles at level >= 2 and at the end of drain(); cheap
+  /// enough to call explicitly from tests at any level >= 1.
+  void audit_invariants() const;
+
+  /// check::InvariantAuditor: lets tests drive audits from an Engine cadence.
+  void audit(std::int64_t now_ps) override;
+
+  /// TEST ONLY: silently removes one in-flight packet from the occupancy
+  /// grid without adjusting any counter — a seeded conservation fault that
+  /// audit_invariants() must catch. Returns false when nothing is in flight.
+  bool corrupt_drop_one_for_test();
+
   /// Latency distribution in cycles (inject->eject) of delivered packets.
   sim::RunningStats latency_stats() const;
   /// Hop-count distribution of delivered packets.
@@ -76,6 +99,9 @@ class CycleSwitch {
   void clear_deliveries() { deliveries_.clear(); }
 
  private:
+  /// Automatic audit cadence in switch cycles (level >= 2 builds only).
+  static constexpr std::uint64_t kAuditCycles = 1024;
+
   int node_index(int c, int h, int a) const noexcept {
     return (c * geometry_.heights + h) * geometry_.angles + a;
   }
@@ -84,6 +110,8 @@ class CycleSwitch {
   Geometry geometry_;
   std::uint64_t cycle_ = 0;
   std::size_t in_flight_ = 0;
+  std::uint64_t injected_ = 0;
+  std::uint64_t delivered_ = 0;
   // occupancy_[node] = packet index + 1, or 0 when empty
   std::vector<std::uint32_t> occupancy_;
   std::vector<std::uint32_t> occupancy_next_;

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "check/check.hpp"
+
 namespace dvx::dvnet {
 
 FabricModel::FabricModel(FabricParams params) : params_(params) {
@@ -15,6 +17,7 @@ void FabricModel::reset() {
   inj_free_.assign(static_cast<std::size_t>(ports()), 0);
   ej_free_.assign(static_cast<std::size_t>(ports()), 0);
   words_sent_ = 0;
+  vc_last_first_arrival_.clear();
 }
 
 double FabricModel::port_bandwidth() const noexcept {
@@ -43,6 +46,8 @@ BurstTiming FabricModel::send_burst(int src_port, int dst_port, std::int64_t wor
       static_cast<sim::Duration>(hops * static_cast<double>(params_.cycle));
 
   const sim::Time start = std::max(ready, inj);
+  const sim::Time inj_before = inj;  // snapshots for the monotonicity checks
+  const sim::Time ej_before = ej;
   inj = start + words * params_.cycle;
 
   // First word finishes injecting one cycle after start, then traverses.
@@ -50,6 +55,24 @@ BurstTiming FabricModel::send_burst(int src_port, int dst_port, std::int64_t wor
   const sim::Time ej_begin = std::max(first_at_dst, ej);
   ej = ej_begin + (words - 1) * params_.cycle;
   words_sent_ += static_cast<std::uint64_t>(words);
+
+  // Port serialization legality: next-free times only move forward, and the
+  // burst ejects strictly after it started injecting.
+  DVX_CHECK(inj > inj_before) << "injection port time went backwards";
+  DVX_CHECK(ej >= ej_before) << "ejection port time went backwards";
+  DVX_CHECK(ej_begin > start) << "burst ejected before it injected";
+  DVX_CHECK(ej >= ej_begin);
+
+#if DVX_CHECK_LEVEL >= 2
+  // FIFO per (src, dst) virtual channel: a later burst never overtakes an
+  // earlier one (follows from monotone port-free times; audited explicitly).
+  sim::Time& vc_last = vc_last_first_arrival_[{src_port, dst_port}];
+  DVX_CHECK_SOON(ej_begin >= vc_last)
+      << "VC (" << src_port << " -> " << dst_port
+      << ") burst overtook its predecessor: first_arrival " << ej_begin
+      << " < " << vc_last;
+  vc_last = ej_begin;
+#endif
   return BurstTiming{ej_begin, ej};
 }
 

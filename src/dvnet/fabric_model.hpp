@@ -15,6 +15,8 @@
 // against the cycle-accurate CycleSwitch.
 
 #include <cstdint>
+#include <map>
+#include <utility>
 #include <vector>
 
 #include "dvnet/geometry.hpp"
@@ -83,6 +85,10 @@ class FabricModel {
   std::vector<sim::Time> inj_free_;
   std::vector<sim::Time> ej_free_;
   std::uint64_t words_sent_ = 0;
+  // FIFO-order audit state (populated only in DVX_CHECK_LEVEL >= 2 builds):
+  // first-arrival time of the latest burst per (src, dst) virtual channel.
+  // Bursts on one VC must eject in injection order.
+  std::map<std::pair<int, int>, sim::Time> vc_last_first_arrival_;
 };
 
 }  // namespace dvx::dvnet

@@ -3,10 +3,16 @@
 #include <deque>
 #include <stdexcept>
 
+#include "check/check.hpp"
+#include "runtime/report.hpp"
+
 namespace dvx::runtime {
 
 Cluster::Cluster(ClusterConfig config) : config_(config), tracer_(config.trace) {
   if (config_.nodes <= 0) throw std::invalid_argument("Cluster: nodes must be positive");
+  // Invariant violations in any simulated run report uniformly (structured
+  // text + one JSON line on stderr) before aborting the run.
+  install_check_report_handler();
 }
 
 namespace {
@@ -28,6 +34,7 @@ RunResult collect(sim::Engine& engine, std::deque<NodeCtx>& ctxs) {
 }  // namespace
 
 RunResult Cluster::run_dv(const DvProgram& program) {
+  const check::ScopedBackend check_backend("dv");
   sim::Engine engine;
   vic::DvFabric fabric(engine, config_.nodes, config_.dv);
   CostModel cost(config_.cost);
@@ -46,6 +53,7 @@ RunResult Cluster::run_dv(const DvProgram& program) {
 }
 
 RunResult Cluster::run_mpi(const MpiProgram& program) {
+  const check::ScopedBackend check_backend("mpi");
   sim::Engine engine;
   ib::Fabric fabric(config_.nodes, config_.ib);
   mpi::MpiWorld world(engine, fabric, config_.nodes, config_.mpi,

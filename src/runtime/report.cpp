@@ -4,6 +4,7 @@
 #include <cmath>
 #include <fstream>
 #include <iomanip>
+#include <iostream>
 #include <limits>
 #include <ostream>
 #include <sstream>
@@ -205,6 +206,39 @@ std::string Json::dump(int indent) const {
   std::ostringstream os;
   dump(os, indent);
   return os.str();
+}
+
+// ---------------------------------------------------------------------------
+// Invariant-failure reporting (dvx::check routed through the JSON layer)
+// ---------------------------------------------------------------------------
+
+Json check_failure_json(const check::Failure& failure) {
+  Json j = Json::object();
+  j["schema"] = "dvx-check/v1";
+  j["expression"] = failure.expression;
+  j["file"] = failure.file;
+  j["line"] = failure.line;
+  if (!failure.message.empty()) j["detail"] = failure.message;
+  if (failure.sim_time_ps >= 0) j["sim_time_ps"] = failure.sim_time_ps;
+  if (failure.node >= 0) j["node"] = failure.node;
+  if (!failure.backend.empty()) j["backend"] = failure.backend;
+  return j;
+}
+
+namespace {
+
+void check_report_handler(const check::Failure& failure) {
+  // One human-readable block plus one machine-readable line; check::fail()
+  // throws CheckError after this handler returns, aborting the run.
+  std::cerr << check::format(failure) << check_failure_json(failure).dump()
+            << "\n"
+            << std::flush;
+}
+
+}  // namespace
+
+void install_check_report_handler() {
+  check::set_handler(&check_report_handler);
 }
 
 // ---------------------------------------------------------------------------

@@ -19,6 +19,8 @@
 #include <variant>
 #include <vector>
 
+#include "check/check.hpp"
+
 namespace dvx::runtime {
 
 class Table {
@@ -100,6 +102,17 @@ class Json {
 
 /// Writes `s` with JSON string escaping (quotes, backslash, control chars).
 void json_escape(std::ostream& os, std::string_view s);
+
+/// Structured JSON form of a failed invariant (schema "dvx-check/v1"):
+/// expression, file, line, detail, plus sim_time_ps / node / backend when
+/// the failure carries that context.
+Json check_failure_json(const check::Failure& failure);
+
+/// Installs a check-failure handler that emits check_failure_json() as one
+/// line on stderr before the run aborts (the machine-readable counterpart
+/// of the BENCH_*.json documents). Idempotent; Cluster installs it so every
+/// simulated run reports invariant violations uniformly.
+void install_check_report_handler();
 
 // ---------------------------------------------------------------------------
 // Structured results

@@ -1,8 +1,13 @@
 #include "sim/engine.hpp"
 
+#include <algorithm>
 #include <stdexcept>
 
+#include "check/check.hpp"
+
 namespace dvx::sim {
+
+Engine::Engine() : audit_interval_(check::default_audit_interval()) {}
 
 Engine::~Engine() {
   for (auto& r : roots_) {
@@ -11,7 +16,7 @@ Engine::~Engine() {
 }
 
 void Engine::spawn(Coro<void> coro, Time start) {
-  assert(coro.valid());
+  DVX_CHECK(coro.valid()) << "spawn of an empty/moved-from coroutine";
   roots_.push_back(Root{coro.release(), false});
   Root& root = roots_.back();
   root.handle.promise().done_flag = &root.done;
@@ -19,27 +24,56 @@ void Engine::spawn(Coro<void> coro, Time start) {
 }
 
 void Engine::schedule_handle(Time t, std::coroutine_handle<> h) {
-  assert(t >= now_ && "cannot schedule into the past");
+  DVX_CHECK(t >= now_) << "cannot schedule into the past: t=" << t
+                       << " now=" << now_;
   queue_.push(Event{t, next_seq_++, h, {}});
 }
 
 void Engine::schedule(Time t, std::function<void()> fn) {
-  assert(t >= now_ && "cannot schedule into the past");
+  DVX_CHECK(t >= now_) << "cannot schedule into the past: t=" << t
+                       << " now=" << now_;
   queue_.push(Event{t, next_seq_++, {}, std::move(fn)});
+}
+
+void Engine::add_auditor(check::InvariantAuditor* auditor) {
+  DVX_CHECK(auditor != nullptr);
+  auditors_.push_back(auditor);
+}
+
+void Engine::remove_auditor(check::InvariantAuditor* auditor) noexcept {
+  auditors_.erase(std::remove(auditors_.begin(), auditors_.end(), auditor),
+                  auditors_.end());
+}
+
+void Engine::run_audits() {
+  if (auditors_.empty()) return;
+  ++audits_run_;
+  for (auto* a : auditors_) a->audit(now_);
 }
 
 Time Engine::run() {
   while (!queue_.empty()) {
     Event ev = queue_.top();
     queue_.pop();
+    // Event-time monotonicity: the queue must never yield an event behind
+    // the clock (would reorder causally dependent wake-ups).
+    DVX_CHECK(ev.t >= now_) << "non-monotonic event: t=" << ev.t
+                            << " behind now=" << now_;
     now_ = ev.t;
+#if DVX_CHECK_LEVEL >= 1
+    check::context().sim_time_ps = now_;
+#endif
     ++events_processed_;
     if (ev.handle) {
       ev.handle.resume();
     } else {
       ev.fn();
     }
+    if (audit_interval_ != 0 && events_processed_ % audit_interval_ == 0) {
+      run_audits();
+    }
   }
+  run_audits();  // drain-time sweep: short runs get audited too
   // Surface failures from simulated processes to the caller (tests rely on it).
   for (auto& r : roots_) {
     if (r.handle && r.handle.promise().exception) {

@@ -6,7 +6,6 @@
 // spawn(); they suspend on awaitables (delay, conditions, communication ops)
 // and the engine resumes them at the correct virtual time.
 
-#include <cassert>
 #include <coroutine>
 #include <cstdint>
 #include <deque>
@@ -14,6 +13,7 @@
 #include <queue>
 #include <vector>
 
+#include "check/audit.hpp"
 #include "sim/task.hpp"
 #include "sim/time.hpp"
 
@@ -21,7 +21,7 @@ namespace dvx::sim {
 
 class Engine {
  public:
-  Engine() = default;
+  Engine();
   Engine(const Engine&) = delete;
   Engine& operator=(const Engine&) = delete;
   ~Engine();
@@ -50,6 +50,22 @@ class Engine {
 
   /// Total events dispatched (diagnostics / microbenchmarks).
   std::uint64_t events_processed() const noexcept { return events_processed_; }
+
+  /// Registers an invariant auditor; audit() runs every audit_interval()
+  /// dispatched events and once when the event queue drains. Observational
+  /// only — auditors must not mutate simulation state (DESIGN.md §7).
+  void add_auditor(check::InvariantAuditor* auditor);
+  /// Unregisters; no-op when the auditor was never added.
+  void remove_auditor(check::InvariantAuditor* auditor) noexcept;
+
+  /// Events between automatic audit sweeps; 0 disables the cadence (the
+  /// drain-time sweep still runs). Defaults to check::default_audit_interval()
+  /// — 4096 in DVX_CHECK_LEVEL >= 2 builds, 0 otherwise.
+  void set_audit_interval(std::uint64_t events) noexcept { audit_interval_ = events; }
+  std::uint64_t audit_interval() const noexcept { return audit_interval_; }
+
+  /// Number of audit sweeps performed (each sweep visits every auditor).
+  std::uint64_t audits_run() const noexcept { return audits_run_; }
 
   /// Awaitable: suspend the current coroutine for `d` of virtual time.
   auto delay(Duration d) {
@@ -95,11 +111,16 @@ class Engine {
     bool done = false;
   };
 
+  void run_audits();
+
   Time now_ = 0;
   std::uint64_t next_seq_ = 0;
   std::uint64_t events_processed_ = 0;
   std::priority_queue<Event, std::vector<Event>, EventLater> queue_;
   std::deque<Root> roots_;  // deque: &done must stay stable
+  std::vector<check::InvariantAuditor*> auditors_;
+  std::uint64_t audit_interval_ = 0;  // ctor sets the level-dependent default
+  std::uint64_t audits_run_ = 0;
 };
 
 }  // namespace dvx::sim

@@ -4,7 +4,6 @@
 #include <fstream>
 #include <sstream>
 #include <stdexcept>
-#include <unordered_map>
 
 namespace dvx::sim {
 
@@ -54,14 +53,16 @@ double Tracer::destination_regularity(std::size_t window) const {
   if (window == 0 || messages_.empty()) return 0.0;
   // Group sends per source in emission order (messages_ is already in
   // nondecreasing send-time order because the DES runs in time order).
-  std::unordered_map<int, std::vector<int>> per_src;
+  // Ordered maps: the accumulation below sums doubles, and unordered
+  // iteration order would make the report value platform-dependent.
+  std::map<int, std::vector<int>> per_src;
   for (const auto& m : messages_) per_src[m.src].push_back(m.dst);
 
   double acc = 0.0;
   std::size_t windows = 0;
   for (const auto& [src, dsts] : per_src) {
     for (std::size_t base = 0; base + window <= dsts.size(); base += window) {
-      std::unordered_map<int, std::size_t> counts;
+      std::map<int, std::size_t> counts;
       std::size_t best = 0;
       for (std::size_t i = 0; i < window; ++i) {
         best = std::max(best, ++counts[dsts[base + i]]);

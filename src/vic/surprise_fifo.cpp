@@ -2,6 +2,8 @@
 
 #include <stdexcept>
 
+#include "check/check.hpp"
+
 namespace dvx::vic {
 
 SurpriseFifo::SurpriseFifo(sim::Engine& engine, std::size_t capacity)
@@ -26,6 +28,11 @@ std::vector<Packet> SurpriseFifo::poll() {
     out.push_back(heap_.top().packet);
     heap_.pop();
   }
+  drained_ += out.size();
+  // Message conservation: every deposited packet is drained, still
+  // buffered, or was counted as dropped — nothing vanishes silently.
+  DVX_CHECK_EQ(deposited_, drained_ + heap_.size())
+      << "surprise FIFO lost packets. ";
   return out;
 }
 

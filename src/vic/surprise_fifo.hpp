@@ -44,6 +44,7 @@ class SurpriseFifo {
   std::size_t capacity() const noexcept { return capacity_; }
   std::uint64_t dropped() const noexcept { return dropped_; }
   std::uint64_t total_deposited() const noexcept { return deposited_; }
+  std::uint64_t total_drained() const noexcept { return drained_; }
 
  private:
   struct Entry {
@@ -64,6 +65,7 @@ class SurpriseFifo {
   std::uint64_t seq_ = 0;
   std::uint64_t dropped_ = 0;
   std::uint64_t deposited_ = 0;
+  std::uint64_t drained_ = 0;
 };
 
 }  // namespace dvx::vic

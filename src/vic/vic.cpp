@@ -4,6 +4,8 @@
 #include <bit>
 #include <stdexcept>
 
+#include "check/check.hpp"
+
 namespace dvx::vic {
 
 Vic::Vic(sim::Engine& engine, DvFabric& fabric, int id, const VicParams& params)
@@ -18,6 +20,9 @@ Vic::Vic(sim::Engine& engine, DvFabric& fabric, int id, const VicParams& params)
       dma_up_(pcie_, PcieDir::kVicToHost) {}
 
 void Vic::deliver(const Packet& p, sim::Time arrival) {
+  const check::ScopedNode check_node(id_);
+  DVX_CHECK(static_cast<int>(p.header.dst_vic) == id_)
+      << "packet for VIC " << p.header.dst_vic << " delivered to VIC " << id_;
   switch (p.header.kind) {
     case DestKind::kDvMemory:
       memory_.write(p.header.addr, p.payload);
@@ -60,6 +65,22 @@ DvFabric::DvFabric(sim::Engine& engine, int nodes, DvFabricParams params)
   for (int i = 0; i < nodes; ++i) {
     vics_.push_back(std::make_unique<Vic>(engine, *this, i, params.vic));
   }
+  engine_.add_auditor(this);
+}
+
+DvFabric::~DvFabric() { engine_.remove_auditor(this); }
+
+void DvFabric::audit(std::int64_t now_ps) {
+  (void)now_ps;
+  DVX_CHECK(barrier_arrived_ >= 0 && barrier_arrived_ < nodes())
+      << "intrinsic barrier arrival count out of range: " << barrier_arrived_;
+  for (const auto& v : vics_) {
+    const check::ScopedNode check_node(v->id());
+    const SurpriseFifo& fifo = v->fifo();
+    DVX_CHECK(fifo.buffered() <= fifo.capacity()) << "FIFO over capacity";
+    DVX_CHECK_EQ(fifo.total_deposited(), fifo.total_drained() + fifo.buffered())
+        << "surprise FIFO lost packets. ";
+  }
 }
 
 dvnet::BurstTiming DvFabric::transmit(int src, std::span<const Packet> packets,
@@ -99,12 +120,17 @@ dvnet::BurstTiming DvFabric::transmit(int src, std::span<const Packet> packets,
 sim::Coro<void> DvFabric::intrinsic_barrier(int rank) {
   (void)rank;  // every VIC participates exactly once per phase
   const std::uint64_t my_phase = barrier_phase_;
+  // Barrier-epoch sanity: arrivals never exceed the party count within one
+  // phase, and the release time cannot precede the last arrival.
+  DVX_CHECK(barrier_arrived_ < nodes())
+      << "barrier over-arrival in phase " << barrier_phase_;
   barrier_latest_ = std::max(barrier_latest_, engine_.now());
   if (++barrier_arrived_ == nodes()) {
     // Hardware completes the AND-tree: base cost plus a little per level.
     const int levels = std::bit_width(static_cast<unsigned>(nodes() - 1));
     const sim::Time release = barrier_latest_ + params_.barrier_base +
                               static_cast<sim::Duration>(levels) * params_.barrier_per_level;
+    DVX_CHECK(release >= engine_.now()) << "barrier released into the past";
     barrier_arrived_ = 0;
     barrier_latest_ = 0;
     ++barrier_phase_;
@@ -113,6 +139,7 @@ sim::Coro<void> DvFabric::intrinsic_barrier(int rank) {
     co_return;
   }
   while (barrier_phase_ == my_phase) co_await barrier_cond_.wait();
+  DVX_CHECK(barrier_phase_ > my_phase) << "barrier phase went backwards";
 }
 
 }  // namespace dvx::vic

@@ -19,6 +19,7 @@
 #include <span>
 #include <vector>
 
+#include "check/audit.hpp"
 #include "dvnet/fabric_model.hpp"
 #include "sim/engine.hpp"
 #include "sim/sync.hpp"
@@ -78,9 +79,10 @@ struct DvFabricParams {
 };
 
 /// The whole Data Vortex side of the cluster: one switch + N VICs.
-class DvFabric {
+class DvFabric : public check::InvariantAuditor {
  public:
   DvFabric(sim::Engine& engine, int nodes, DvFabricParams params = {});
+  ~DvFabric() override;
 
   int nodes() const noexcept { return static_cast<int>(vics_.size()); }
   Vic& vic(int id) { return *vics_.at(static_cast<std::size_t>(id)); }
@@ -99,6 +101,12 @@ class DvFabric {
   /// at the current virtual time; resumes when every VIC has arrived plus
   /// the (small, log-depth) hardware latency.
   sim::Coro<void> intrinsic_barrier(int rank);
+
+  /// Epoch invariants across the fabric assembly (DESIGN.md §7): barrier
+  /// arrival count within bounds, and per-VIC surprise-FIFO conservation
+  /// (deposited == drained + buffered, buffered <= capacity). Registered
+  /// with the engine at construction; runs on its audit cadence.
+  void audit(std::int64_t now_ps) override;
 
  private:
   sim::Engine& engine_;

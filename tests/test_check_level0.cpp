@@ -1,0 +1,35 @@
+// Level-0 translation unit for test_check: proves that DVX_CHECK_LEVEL=0
+// compiles every macro out — the condition and the message stream are
+// type-checked but never evaluated, so a failing condition with side
+// effects leaves no trace. Linked into the same binary as the level-2 TU
+// (the macros are per-TU by design; the inline support classes carry no
+// level-dependent state, so mixing levels is ODR-clean).
+
+#undef DVX_CHECK_LEVEL
+#define DVX_CHECK_LEVEL 0
+#include "check/check.hpp"
+
+namespace dvx_test_check {
+
+namespace {
+int evaluations = 0;
+
+bool bump_and_fail() {
+  ++evaluations;
+  return false;  // would throw at any live level
+}
+}  // namespace
+
+int level0_macro_level() { return DVX_CHECK_LEVEL; }
+
+// Returns the number of times any check operand was evaluated (must be 0).
+int level0_run_all_macros() {
+  evaluations = 0;
+  DVX_CHECK(bump_and_fail()) << "streamed " << bump_and_fail();
+  DVX_CHECK_EQ(bump_and_fail(), true);
+  DVX_CHECK_SOON(bump_and_fail()) << "audit-only " << bump_and_fail();
+  DVX_CHECK_SOON_EQ(bump_and_fail(), true);
+  return evaluations;
+}
+
+}  // namespace dvx_test_check

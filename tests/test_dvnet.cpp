@@ -130,9 +130,9 @@ INSTANTIATE_TEST_SUITE_P(Shapes, CycleSwitchProperty,
                          ::testing::Values(SwitchShape{4, 2}, SwitchShape{8, 4},
                                            SwitchShape{16, 2}, SwitchShape{16, 4},
                                            SwitchShape{32, 4}, SwitchShape{8, 1}),
-                         [](const auto& info) {
-                           return "H" + std::to_string(info.param.heights) + "A" +
-                                  std::to_string(info.param.angles);
+                         [](const auto& shape_info) {
+                           return "H" + std::to_string(shape_info.param.heights) + "A" +
+                                  std::to_string(shape_info.param.angles);
                          });
 
 TEST(CycleSwitch, HotspotTrafficStillDrainsWithDeflections) {

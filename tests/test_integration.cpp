@@ -117,7 +117,7 @@ TEST(Collectives, SenseReversalSurvivesSkewedStress) {
   cluster.run_dv([](dvapi::DvContext& ctx, runtime::NodeCtx& node) -> Coro<void> {
     sim::Xoshiro256 rng(static_cast<std::uint64_t>(ctx.rank()) + 17);
     for (int round = 0; round < 50; ++round) {
-      co_await node.engine().delay(sim::ns(rng.below(3000)));
+      co_await node.engine().delay(sim::ns(static_cast<double>(rng.below(3000))));
       const auto sum = co_await dvapi::allreduce_sum(
           ctx, static_cast<std::uint64_t>(round * 8 + ctx.rank()));
       // sum of round*8 + r for r in 0..7 = 64*round + 28

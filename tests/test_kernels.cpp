@@ -283,8 +283,12 @@ TEST(Stencil, PackUnpackRoundTripsEachFace) {
     kernels::HaloGrid3 h(3, 4, 5);
     h.unpack_halo(face, packed);
     // Spot-check one halo value against the source boundary layer.
-    if (face == 1) EXPECT_EQ(h.at(4, 2, 3), g.at(3, 2, 3));
-    if (face == 4) EXPECT_EQ(h.at(2, 2, 0), g.at(2, 2, 1));
+    if (face == 1) {
+      EXPECT_EQ(h.at(4, 2, 3), g.at(3, 2, 3));
+    }
+    if (face == 4) {
+      EXPECT_EQ(h.at(2, 2, 0), g.at(2, 2, 1));
+    }
   }
 }
 

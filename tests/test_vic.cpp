@@ -82,9 +82,9 @@ TEST(GroupCounter, WaiterResumesAtSettleTime) {
   vic::GroupCounter gc(e);
   sim::Time woke = -1;
   bool ok = false;
-  e.spawn([](Engine& eng, vic::GroupCounter& c, sim::Time& t, bool& ok) -> Coro<void> {
+  e.spawn([](Engine& eng, vic::GroupCounter& c, sim::Time& t, bool& res) -> Coro<void> {
     c.set(eng.now(), 3);
-    ok = co_await c.wait_zero();
+    res = co_await c.wait_zero();
     t = eng.now();
   }(e, gc, woke, ok));
   e.spawn([](Engine& eng, vic::GroupCounter& c) -> Coro<void> {
@@ -105,10 +105,10 @@ TEST(GroupCounter, TimeoutExpires) {
   vic::GroupCounter gc(e);
   bool ok = true;
   sim::Time woke = -1;
-  e.spawn([](Engine& eng, vic::GroupCounter& c, bool& ok, sim::Time& t) -> Coro<void> {
+  e.spawn([](Engine& eng, vic::GroupCounter& c, bool& res, sim::Time& t) -> Coro<void> {
     c.set(eng.now(), 2);
     c.decrement(eng.now());  // only one of two arrives
-    ok = co_await c.wait_zero(sim::us(4));
+    res = co_await c.wait_zero(sim::us(4));
     t = eng.now();
   }(e, gc, ok, woke));
   e.run();
@@ -124,10 +124,10 @@ TEST(GroupCounter, DecrementAgainstZeroIsLost) {
   Engine e;
   vic::GroupCounter gc(e);
   bool ok = true;
-  e.spawn([](Engine& eng, vic::GroupCounter& c, bool& ok) -> Coro<void> {
+  e.spawn([](Engine& eng, vic::GroupCounter& c, bool& res) -> Coro<void> {
     c.decrement(eng.now());      // arrives before the set
     c.set(eng.now(), 1);         // now expects 1 packet that already came
-    ok = co_await c.wait_zero(sim::us(10));
+    res = co_await c.wait_zero(sim::us(10));
   }(e, gc, ok));
   e.run();
   EXPECT_FALSE(ok) << "lost arrival must leave the counter nonzero";
@@ -164,7 +164,7 @@ TEST(SurpriseFifo, ArrivalTimeOrderingAcrossSenders) {
   Engine e;
   vic::SurpriseFifo fifo(e, 16);
   std::vector<std::uint64_t> got;
-  e.spawn([](Engine& eng, vic::SurpriseFifo& f, auto& out) -> Coro<void> {
+  e.spawn([]([[maybe_unused]] Engine& eng, vic::SurpriseFifo& f, auto& out) -> Coro<void> {
     // Out-of-order deposits: arrival times decide visibility order.
     f.deposit(sim::us(5), vic::Packet{{}, 50});
     f.deposit(sim::us(2), vic::Packet{{}, 20});
@@ -298,7 +298,9 @@ TEST(DvFabric, QueryTriggersHostFreeReply) {
     f.transmit(0, std::span<const vic::Packet>(&q, 1), eng.now());
     auto got = co_await f.vic(1).fifo().wait_packets();
     EXPECT_EQ(got.size(), 1u);  // ASSERT_* cannot be used in a coroutine
-    if (!got.empty()) EXPECT_EQ(got[0].payload, 0xabcdefu);
+    if (!got.empty()) {
+      EXPECT_EQ(got[0].payload, 0xabcdefu);
+    }
   }(e, fabric));
   e.run();
   EXPECT_TRUE(e.all_done());
