@@ -2,8 +2,10 @@
 
 #include <algorithm>
 #include <stdexcept>
+#include <string>
 
 #include "check/check.hpp"
+#include "obs/collector.hpp"
 
 namespace dvx::dvnet {
 
@@ -12,6 +14,24 @@ CycleSwitch::CycleSwitch(Geometry geometry) : geometry_(geometry) {
   occupancy_.assign(static_cast<std::size_t>(geometry_.nodes()), 0);
   occupancy_next_.assign(occupancy_.size(), 0);
   port_queues_.resize(static_cast<std::size_t>(geometry_.ports()));
+  if (obs::Registry* m = obs::metrics()) {
+    // Deflections happen on the outer cylinders only (the innermost is
+    // fully height-routed), but index by (cylinder, angle) over the whole
+    // grid so the step() hot path needs no bounds arithmetic.
+    deflection_counters_.assign(
+        static_cast<std::size_t>(geometry_.cylinders() * geometry_.angles), nullptr);
+    for (int c = 0; c + 1 < geometry_.cylinders(); ++c) {
+      for (int a = 0; a < geometry_.angles; ++a) {
+        deflection_counters_[static_cast<std::size_t>(c * geometry_.angles + a)] =
+            m->counter("dv.switch.deflections",
+                       {{"cylinder", std::to_string(c)}, {"angle", std::to_string(a)}});
+      }
+    }
+    hops_hist_ = m->histogram("dv.switch.hops");
+    latency_hist_ = m->histogram("dv.switch.latency_cycles");
+    occupancy_gauge_ = m->gauge("dv.switch.occupancy");
+    inject_stalls_ = m->counter("dv.switch.inject_stalls");
+  }
 }
 
 void CycleSwitch::inject(int src_port, int dst_port, std::uint64_t tag) {
@@ -65,6 +85,10 @@ void CycleSwitch::step() {
           << "deflections=" << p.deflections << " hops=" << p.hops;
       deliveries_.push_back(Delivery{p.src_port, p.dst_port, p.tag, p.inject_cycle, cycle_,
                                      p.hops, p.deflections});
+      if (hops_hist_ != nullptr) {
+        hops_hist_->observe(static_cast<std::uint64_t>(p.hops));
+        latency_hist_->observe(cycle_ - p.inject_cycle);
+      }
       free_slots_.push_back(slot);
       --in_flight_;
       ++delivered_;
@@ -97,6 +121,11 @@ void CycleSwitch::step() {
           continue;
         }
         ++p.deflections;  // blocked by the deflection signal: hot-potato on
+        if (!deflection_counters_.empty()) {
+          deflection_counters_[static_cast<std::size_t>(c * geometry_.angles +
+                                                        p.angle)]
+              ->inc();
+        }
       }
       p.height ^= mask;
       p.angle = na;
@@ -113,7 +142,10 @@ void CycleSwitch::step() {
     const int h = geometry_.port_height(port);
     const int a = geometry_.port_angle(port);
     const std::size_t node = static_cast<std::size_t>(node_index(0, h, a));
-    if (occupancy_next_[node] != 0) continue;  // backpressured this cycle
+    if (occupancy_next_[node] != 0) {  // backpressured this cycle
+      if (inject_stalls_ != nullptr) inject_stalls_->inc();
+      continue;
+    }
     CyclePacket p = q.front();
     q.erase(q.begin());
     p.cylinder = 0;
@@ -136,6 +168,9 @@ void CycleSwitch::step() {
 
   occupancy_.swap(occupancy_next_);
   ++cycle_;
+  if (occupancy_gauge_ != nullptr) {
+    occupancy_gauge_->sample(static_cast<double>(in_flight_));
+  }
 #if DVX_CHECK_LEVEL >= 2
   if (cycle_ % kAuditCycles == 0) audit_invariants();
 #endif

@@ -17,6 +17,7 @@
 
 #include "check/audit.hpp"
 #include "dvnet/geometry.hpp"
+#include "obs/metrics.hpp"
 #include "sim/stats.hpp"
 
 namespace dvx::dvnet {
@@ -108,6 +109,13 @@ class CycleSwitch : public check::InvariantAuditor {
   int next_angle(int a) const noexcept { return (a + 1) % geometry_.angles; }
 
   Geometry geometry_;
+  // obs instrumentation, attached from the ambient collector at
+  // construction; all null (one dead branch per site) when nothing collects.
+  std::vector<obs::Counter*> deflection_counters_;  // [cylinder * angles + angle]
+  obs::Histogram* hops_hist_ = nullptr;
+  obs::Histogram* latency_hist_ = nullptr;
+  obs::Gauge* occupancy_gauge_ = nullptr;
+  obs::Counter* inject_stalls_ = nullptr;
   std::uint64_t cycle_ = 0;
   std::size_t in_flight_ = 0;
   std::uint64_t injected_ = 0;

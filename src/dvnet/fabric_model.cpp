@@ -4,12 +4,21 @@
 #include <stdexcept>
 
 #include "check/check.hpp"
+#include "obs/collector.hpp"
 
 namespace dvx::dvnet {
 
 FabricModel::FabricModel(FabricParams params) : params_(params) {
   params_.geometry.validate();
   if (params_.cycle <= 0) throw std::invalid_argument("FabricModel: cycle must be positive");
+  if (obs::Registry* m = obs::metrics()) {
+    obs_bursts_ = m->counter("dv.fabric.bursts");
+    obs_words_ = m->counter("dv.fabric.words");
+    obs_deflection_penalties_ = m->counter("dv.fabric.deflection_penalties");
+    obs_inject_wait_ps_ = m->counter("dv.fabric.inject_wait_ps");
+    obs_eject_wait_ps_ = m->counter("dv.fabric.eject_wait_ps");
+    obs_port_busy_ps_ = m->counter("dv.fabric.port_busy_ps");
+  }
   reset();
 }
 
@@ -55,6 +64,15 @@ BurstTiming FabricModel::send_burst(int src_port, int dst_port, std::int64_t wor
   const sim::Time ej_begin = std::max(first_at_dst, ej);
   ej = ej_begin + (words - 1) * params_.cycle;
   words_sent_ += static_cast<std::uint64_t>(words);
+
+  if (obs_bursts_ != nullptr) {
+    obs_bursts_->inc();
+    obs_words_->add(static_cast<std::uint64_t>(words));
+    if (contended) obs_deflection_penalties_->inc();
+    obs_inject_wait_ps_->add(static_cast<std::uint64_t>(start - ready));
+    obs_eject_wait_ps_->add(static_cast<std::uint64_t>(ej_begin - first_at_dst));
+    obs_port_busy_ps_->add(static_cast<std::uint64_t>(words * params_.cycle));
+  }
 
   // Port serialization legality: next-free times only move forward, and the
   // burst ejects strictly after it started injecting.

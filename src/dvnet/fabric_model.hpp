@@ -20,6 +20,7 @@
 #include <vector>
 
 #include "dvnet/geometry.hpp"
+#include "obs/metrics.hpp"
 #include "sim/time.hpp"
 
 namespace dvx::dvnet {
@@ -82,6 +83,16 @@ class FabricModel {
 
  private:
   FabricParams params_;
+  // obs instrumentation (null when nothing collects): burst/word tallies,
+  // contended-burst count (each charged the statistical deflection penalty),
+  // and the serialization accounting — time bursts waited on a busy
+  // injection/ejection port and total port busy time.
+  obs::Counter* obs_bursts_ = nullptr;
+  obs::Counter* obs_words_ = nullptr;
+  obs::Counter* obs_deflection_penalties_ = nullptr;
+  obs::Counter* obs_inject_wait_ps_ = nullptr;
+  obs::Counter* obs_eject_wait_ps_ = nullptr;
+  obs::Counter* obs_port_busy_ps_ = nullptr;
   std::vector<sim::Time> inj_free_;
   std::vector<sim::Time> ej_free_;
   std::uint64_t words_sent_ = 0;

@@ -1,0 +1,89 @@
+#include "dvnet/traffic.hpp"
+
+#include <bit>
+
+namespace dvx::dvnet {
+namespace {
+
+/// Index bits the permutation patterns operate on. Port counts are
+/// heights * angles and not necessarily a power of two; out-of-range
+/// permuted indices wrap, which keeps the traffic valid (if not a strict
+/// permutation) for odd geometries.
+int index_bits(int ports) {
+  return static_cast<int>(std::bit_width(static_cast<unsigned>(ports - 1)));
+}
+
+int rotate_index(int src, int ports) {
+  const int b = index_bits(ports);
+  const int h = b / 2;
+  if (h == 0) return src;
+  const unsigned mask = (1u << b) - 1u;
+  const unsigned u = static_cast<unsigned>(src);
+  return static_cast<int>(((u << h | u >> (b - h)) & mask) % static_cast<unsigned>(ports));
+}
+
+int reverse_index(int src, int ports) {
+  const int b = index_bits(ports);
+  unsigned out = 0;
+  for (int i = 0; i < b; ++i) {
+    out = (out << 1) | ((static_cast<unsigned>(src) >> i) & 1u);
+  }
+  return static_cast<int>(out % static_cast<unsigned>(ports));
+}
+
+}  // namespace
+
+const char* to_string(TrafficPattern p) {
+  switch (p) {
+    case TrafficPattern::kUniform:
+      return "uniform";
+    case TrafficPattern::kHotspot:
+      return "hotspot";
+    case TrafficPattern::kTranspose:
+      return "transpose";
+    case TrafficPattern::kBitReverse:
+      return "bit_reverse";
+  }
+  return "?";
+}
+
+int traffic_destination(const TrafficConfig& cfg, int src, int ports,
+                        sim::Xoshiro256& rng) {
+  switch (cfg.pattern) {
+    case TrafficPattern::kUniform:
+      return static_cast<int>(rng.below(static_cast<std::uint64_t>(ports)));
+    case TrafficPattern::kHotspot:
+      if (rng.chance(cfg.hotspot_fraction)) return cfg.hot_port;
+      return static_cast<int>(rng.below(static_cast<std::uint64_t>(ports)));
+    case TrafficPattern::kTranspose:
+      return rotate_index(src, ports);
+    case TrafficPattern::kBitReverse:
+      return reverse_index(src, ports);
+  }
+  return src;
+}
+
+TrafficResult run_synthetic(CycleSwitch& sw, const TrafficConfig& cfg,
+                            std::uint64_t cycles, std::uint64_t seed) {
+  sw.clear_deliveries();
+  sim::Xoshiro256 rng(seed);
+  const int ports = sw.geometry().ports();
+  TrafficResult r;
+  for (std::uint64_t c = 0; c < cycles; ++c) {
+    for (int p = 0; p < ports; ++p) {
+      if (rng.chance(cfg.offered_load)) {
+        sw.inject(p, traffic_destination(cfg, p, ports, rng));
+        ++r.offered;
+      }
+    }
+    sw.step();
+  }
+  r.drained = sw.drain();
+  r.delivered = sw.deliveries().size();
+  r.hops = sw.hop_stats();
+  r.deflections = sw.deflection_stats();
+  r.latency = sw.latency_stats();
+  return r;
+}
+
+}  // namespace dvx::dvnet

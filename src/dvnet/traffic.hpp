@@ -1,0 +1,56 @@
+#pragma once
+// Synthetic traffic patterns for the Data Vortex switch.
+//
+// The paper argues the fabric's value shows up under *irregular* traffic:
+// deflection routing absorbs contention at the cost of "statistically two
+// hops" (§II). These generators create the contention spectrum needed to
+// measure that claim directly on the cycle-accurate switch — from benign
+// uniform-random to a single-hot-port worst case — and are shared by the
+// `traffic` bench workload and the dvnet cross-check tests.
+
+#include <cstdint>
+
+#include "dvnet/cycle_switch.hpp"
+#include "sim/rng.hpp"
+#include "sim/stats.hpp"
+
+namespace dvx::dvnet {
+
+enum class TrafficPattern : std::uint8_t {
+  kUniform,      ///< independent uniform destination per packet
+  kHotspot,      ///< a fraction of traffic converges on one hot port
+  kTranspose,    ///< fixed permutation: destination = bit-rotated source
+  kBitReverse,   ///< fixed permutation: destination = bit-reversed source
+};
+
+const char* to_string(TrafficPattern p);
+
+struct TrafficConfig {
+  TrafficPattern pattern = TrafficPattern::kUniform;
+  /// Injection probability per port per switch cycle.
+  double offered_load = 0.1;
+  /// Hotspot only: fraction of packets aimed at `hot_port` (rest uniform).
+  double hotspot_fraction = 0.5;
+  int hot_port = 0;
+};
+
+/// Destination port for one packet from `src` under `cfg`. Permutation
+/// patterns ignore the RNG; random patterns consume from it.
+int traffic_destination(const TrafficConfig& cfg, int src, int ports,
+                        sim::Xoshiro256& rng);
+
+struct TrafficResult {
+  std::uint64_t offered = 0;    ///< packets handed to inject()
+  std::uint64_t delivered = 0;  ///< packets ejected by the end of the drain
+  bool drained = false;         ///< false: drain hit its cycle budget
+  sim::RunningStats hops;
+  sim::RunningStats deflections;
+  sim::RunningStats latency;    ///< inject->eject, in switch cycles
+};
+
+/// Offers `cfg` traffic to a fresh-statistics region of `sw` for `cycles`
+/// switch cycles, then drains. Deterministic for a given (cfg, cycles, seed).
+TrafficResult run_synthetic(CycleSwitch& sw, const TrafficConfig& cfg,
+                            std::uint64_t cycles, std::uint64_t seed);
+
+}  // namespace dvx::dvnet

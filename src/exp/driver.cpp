@@ -3,6 +3,7 @@
 #include <charconv>
 #include <cstdint>
 #include <exception>
+#include <filesystem>
 #include <iostream>
 #include <sstream>
 #include <string_view>
@@ -31,6 +32,12 @@ void print_usage(std::ostream& os) {
         "                       results are identical at any N, --jobs 1 = serial)\n"
         "  --json PATH          also write the combined JSON document to PATH\n"
         "  --no-figure-json     skip the per-figure BENCH_<figure>.json files\n"
+        "  --metrics-out DIR    collect obs metrics per measurement point and write\n"
+        "                       METRICS_<figure>_p<N>.json (schema dvx-metrics/v1)\n"
+        "                       into DIR (created if missing)\n"
+        "  --trace-out DIR      record per-point execution traces and write\n"
+        "                       TRACE_<figure>_p<N>.json (Chrome trace format,\n"
+        "                       loadable in Perfetto) into DIR (created if missing)\n"
         "  --help               this text\n"
         "\n"
         "Every run prints the paper-figure tables and, unless suppressed, writes\n"
@@ -182,6 +189,14 @@ bool parse_args(int argc, const char* const* argv, CliOptions& opt, std::ostream
       const char* v = need_value(i, arg);
       if (!v) continue;
       opt.json_path = v;
+    } else if (arg == "--metrics-out") {
+      const char* v = need_value(i, arg);
+      if (!v) continue;
+      opt.run.metrics_dir = v;
+    } else if (arg == "--trace-out") {
+      const char* v = need_value(i, arg);
+      if (!v) continue;
+      opt.run.trace_dir = v;
     } else if (arg == "--help" || arg == "-h") {
       opt.help = true;
     } else {
@@ -254,6 +269,16 @@ int run_with(CliOptions opt) {
 int run_workloads(const std::vector<const Workload*>& workloads, const RunOptions& opt,
                   int jobs, runtime::ResultSink& sink,
                   const std::function<void(const Workload&, bool ok)>& per_figure) {
+  for (const std::string& dir : {opt.metrics_dir, opt.trace_dir}) {
+    if (dir.empty()) continue;
+    std::error_code ec;
+    std::filesystem::create_directories(dir, ec);
+    if (ec) {
+      std::cerr << "dvx_bench: cannot create output directory '" << dir
+                << "': " << ec.message() << "\n";
+      return static_cast<int>(workloads.size());
+    }
+  }
   struct PlannedFigure {
     const Workload* workload = nullptr;
     std::vector<RunPoint> points;
@@ -276,9 +301,9 @@ int run_workloads(const std::vector<const Workload*>& workloads, const RunOption
   std::vector<std::function<void()>> tasks;
   for (std::size_t f = 0; f < figures.size(); ++f) {
     for (std::size_t i = 0; i < figures[f].points.size(); ++i) {
-      tasks.push_back([&figures, f, i] {
+      tasks.push_back([&figures, &opt, f, i] {
         figures[f].results[i] =
-            execute_point(*figures[f].workload, figures[f].points[i]);
+            execute_point(*figures[f].workload, figures[f].points[i], opt);
       });
     }
   }

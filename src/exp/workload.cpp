@@ -5,6 +5,9 @@
 #include <sstream>
 #include <stdexcept>
 
+#include "obs/collector.hpp"
+#include "obs/snapshot.hpp"
+#include "obs/trace_export.hpp"
 #include "runtime/constants.hpp"
 #include "sim/rng.hpp"
 
@@ -38,7 +41,7 @@ void Workload::run(const RunOptions& opt, runtime::ResultSink& sink) const {
   const auto points = plan(opt);
   std::vector<PointResult> results;
   results.reserve(points.size());
-  for (const auto& p : points) results.push_back(execute_point(*this, p));
+  for (const auto& p : points) results.push_back(execute_point(*this, p, opt));
   std::string errors;
   for (const auto& r : results) {
     if (!r.failed()) continue;
@@ -140,6 +143,38 @@ PointResult execute_point(const Workload& workload, const RunPoint& point) {
   return result;
 }
 
+PointResult execute_point(const Workload& workload, const RunPoint& point,
+                          const RunOptions& opt) {
+  const bool want_metrics = !opt.metrics_dir.empty();
+  const bool want_trace = !opt.trace_dir.empty();
+  if (!want_metrics && !want_trace) return execute_point(workload, point);
+
+  obs::Collector collector;
+  collector.want_trace = want_trace;
+  PointResult result;
+  {
+    const obs::ScopedCollector scope(collector);
+    result = execute_point(workload, point);
+  }
+  // Only successful points leave files behind, so the output directory's
+  // content is a pure function of the plan (the --jobs determinism contract).
+  if (result.failed()) return result;
+  const std::string tag = workload.figure() + "_p" + std::to_string(point.index);
+  if (want_metrics) {
+    const std::string path = opt.metrics_dir + "/METRICS_" + tag + ".json";
+    if (!obs::write_snapshot_file(collector.registry, path)) {
+      result.error = "could not write " + path;
+    }
+  }
+  if (want_trace && !result.failed()) {
+    const std::string path = opt.trace_dir + "/TRACE_" + tag + ".json";
+    if (!obs::write_chrome_trace_file(collector.trace, path)) {
+      result.error = "could not write " + path;
+    }
+  }
+  return result;
+}
+
 Registry& Registry::instance() {
   static Registry* registry = [] {
     auto* r = new Registry();
@@ -152,6 +187,7 @@ Registry& Registry::instance() {
     r->add(make_apps_workload());
     r->add(make_ablation_aggregation_workload());
     r->add(make_ablation_fabric_workload());
+    r->add(make_traffic_workload());
     return r;
   }();
   return *registry;

@@ -69,6 +69,12 @@ struct RunOptions {
   std::uint64_t seed = 0;      ///< 0 = keep each workload's default seed
   std::vector<int> nodes;      ///< empty = the workload's default node sweep
   std::ostream* out = nullptr; ///< table output; nullptr = std::cout
+  /// Non-empty: collect obs metrics per point and write one
+  /// METRICS_<figure>_p<index>.json (schema dvx-metrics/v1) into this dir.
+  std::string metrics_dir;
+  /// Non-empty: record an execution trace per point and write one
+  /// TRACE_<figure>_p<index>.json (Chrome trace format) into this dir.
+  std::string trace_dir;
 };
 
 /// One planned measurement point of a figure.
@@ -181,6 +187,14 @@ class PlanBuilder {
 /// log output captured into PointResult::log. Never throws.
 PointResult execute_point(const Workload& workload, const RunPoint& point);
 
+/// As above, honouring RunOptions::metrics_dir / trace_dir: the point runs
+/// under a private obs::Collector (thread-safe at any --jobs level because
+/// nothing is shared) and, on success, its metrics snapshot and Chrome trace
+/// are written to the respective directories. A failed write marks the
+/// point failed.
+PointResult execute_point(const Workload& workload, const RunPoint& point,
+                          const RunOptions& opt);
+
 /// The global workload registry. Populated with the built-in workloads on
 /// first access; figure tags ("fig3".."fig9", "ablation_*") and workload
 /// names ("pingpong", "gups", ...) both resolve.
@@ -218,5 +232,6 @@ std::unique_ptr<Workload> make_bfs_workload();               // fig8
 std::unique_ptr<Workload> make_apps_workload();              // fig9
 std::unique_ptr<Workload> make_ablation_aggregation_workload();
 std::unique_ptr<Workload> make_ablation_fabric_workload();
+std::unique_ptr<Workload> make_traffic_workload();
 
 }  // namespace dvx::exp

@@ -42,7 +42,7 @@ TraceOut run_trace(int nodes, const ParamMap& params, std::ostream* os) {
     *os << "\n-- per-node state breakdown --\n";
     for (const auto& [node, summary] : tracer.state_summary()) {
       *os << "node " << node << ":";
-      for (int s = 0; s < 5; ++s) {
+      for (std::size_t s = 0; s < sim::kNodeStateCount; ++s) {
         *os << "  " << sim::to_string(static_cast<sim::NodeState>(s)) << "="
             << runtime::fmt(100.0 * summary.fraction(static_cast<sim::NodeState>(s)), 1)
             << "%";

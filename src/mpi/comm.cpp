@@ -2,6 +2,8 @@
 
 #include <stdexcept>
 
+#include "obs/collector.hpp"
+
 namespace dvx::mpi {
 
 MpiWorld::MpiWorld(sim::Engine& engine, ib::Fabric& fabric, int ranks, MpiParams params,
@@ -11,6 +13,11 @@ MpiWorld::MpiWorld(sim::Engine& engine, ib::Fabric& fabric, int ranks, MpiParams
     throw std::invalid_argument("MpiWorld: rank count must fit the fabric");
   }
   endpoints_.resize(static_cast<std::size_t>(ranks));
+  if (obs::Registry* m = obs::metrics()) {
+    obs_msg_bytes_ = m->histogram("mpi.msg.bytes");
+    obs_eager_msgs_ = m->counter("mpi.msgs", {{"protocol", "eager"}});
+    obs_rendezvous_msgs_ = m->counter("mpi.msgs", {{"protocol", "rendezvous"}});
+  }
 }
 
 int Comm::size() const noexcept { return world_->size(); }

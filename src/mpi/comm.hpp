@@ -18,6 +18,7 @@
 #include <vector>
 
 #include "ib/topology.hpp"
+#include "obs/metrics.hpp"
 #include "sim/engine.hpp"
 #include "sim/sync.hpp"
 #include "sim/task.hpp"
@@ -151,6 +152,11 @@ class MpiWorld {
   int ranks_;
   MpiParams params_;
   sim::Tracer* tracer_;
+  // obs instrumentation (null when nothing collects): on-the-wire message
+  // size distribution and per-protocol message counts.
+  obs::Histogram* obs_msg_bytes_ = nullptr;
+  obs::Counter* obs_eager_msgs_ = nullptr;
+  obs::Counter* obs_rendezvous_msgs_ = nullptr;
   std::vector<Endpoint> endpoints_;
 };
 

@@ -17,6 +17,11 @@ Request MpiWorld::start_send(int src, int dst, int tag, std::vector<std::uint64_
       static_cast<std::int64_t>(data.size()) * 8 + params_.envelope_bytes;
   const sim::Time now = engine_.now();
 
+  if (obs_msg_bytes_ != nullptr) {
+    obs_msg_bytes_->observe(static_cast<std::uint64_t>(bytes));
+    (bytes <= params_.eager_threshold ? obs_eager_msgs_ : obs_rendezvous_msgs_)->inc();
+  }
+
   if (bytes <= params_.eager_threshold) {
     const auto t = fabric_.send_message(src, dst, bytes, now);
     if (tracer_ != nullptr) {

@@ -1,0 +1,42 @@
+#include "obs/collector.hpp"
+
+namespace dvx::obs {
+namespace {
+
+thread_local Collector* g_collector = nullptr;
+
+}  // namespace
+
+Collector* current_collector() noexcept { return g_collector; }
+
+Registry* metrics() noexcept {
+  return g_collector != nullptr ? &g_collector->registry : nullptr;
+}
+
+bool trace_wanted() noexcept {
+  return g_collector != nullptr && g_collector->want_trace;
+}
+
+void absorb_trace(const sim::Tracer& src, std::size_t first_state,
+                  std::size_t first_message) {
+  if (!trace_wanted()) return;
+  sim::Tracer& dst = g_collector->trace;
+  const auto& states = src.states();
+  for (std::size_t i = first_state; i < states.size(); ++i) {
+    const auto& iv = states[i];
+    dst.record_state(iv.node, iv.state, iv.begin, iv.end);
+  }
+  const auto& messages = src.messages();
+  for (std::size_t i = first_message; i < messages.size(); ++i) {
+    const auto& m = messages[i];
+    dst.record_message(m.src, m.dst, m.send_time, m.recv_time, m.bytes, m.tag);
+  }
+}
+
+ScopedCollector::ScopedCollector(Collector& c) noexcept : prev_(g_collector) {
+  g_collector = &c;
+}
+
+ScopedCollector::~ScopedCollector() { g_collector = prev_; }
+
+}  // namespace dvx::obs

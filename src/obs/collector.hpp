@@ -1,0 +1,63 @@
+#pragma once
+// Ambient per-thread collection scope (DESIGN.md §8).
+//
+// The bench driver measures each point on whichever worker thread the
+// PointScheduler hands it to; threading a registry pointer through every
+// workload, cluster, and device constructor would touch every signature in
+// the repo. Instead — following the precedent of check::Context — the
+// active Collector is thread-local ambient state: the exp layer opens a
+// ScopedCollector around one measurement point, and instrumented
+// components consult obs::metrics() / obs::trace_wanted() at construction
+// time to attach themselves. Each worker thread scopes its own collector,
+// so collectors are never shared across threads and need no locking;
+// that plus the registry's sorted serialization is what makes
+// `--jobs 1` and `--jobs N` metrics output byte-identical.
+//
+// When no collector is open (production benches without --metrics-out),
+// obs::metrics() returns nullptr and components keep null metric pointers:
+// the disabled cost is one branch per instrumented site.
+
+#include "obs/metrics.hpp"
+#include "sim/trace.hpp"
+
+namespace dvx::obs {
+
+/// Everything one measurement point collects: its private metrics registry
+/// and, when tracing was requested, an accumulated execution trace.
+struct Collector {
+  Registry registry;
+  bool want_trace = false;
+  sim::Tracer trace{true};
+};
+
+/// The collector open on this thread, or nullptr.
+Collector* current_collector() noexcept;
+
+/// Shorthand: the ambient registry, or nullptr when none is open.
+Registry* metrics() noexcept;
+
+/// True when the ambient collector wants an execution trace recorded.
+bool trace_wanted() noexcept;
+
+/// Appends a suffix of `src`'s records (everything from index
+/// `first_state`/`first_message` on) to the ambient collector's trace.
+/// The cluster runtime uses this to absorb only the records produced by
+/// the current run when one point runs the cluster several times.
+/// No-op when no collector is open or tracing was not requested.
+void absorb_trace(const sim::Tracer& src, std::size_t first_state,
+                  std::size_t first_message);
+
+/// Opens `c` as the ambient collector for the current scope, restoring the
+/// previous one (usually none) on exit.
+class ScopedCollector {
+ public:
+  explicit ScopedCollector(Collector& c) noexcept;
+  ~ScopedCollector();
+  ScopedCollector(const ScopedCollector&) = delete;
+  ScopedCollector& operator=(const ScopedCollector&) = delete;
+
+ private:
+  Collector* prev_;
+};
+
+}  // namespace dvx::obs

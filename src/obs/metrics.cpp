@@ -1,0 +1,36 @@
+#include "obs/metrics.hpp"
+
+#include <stdexcept>
+#include <utility>
+
+namespace dvx::obs {
+
+template <typename T>
+T* Registry::get_or_create(std::string name, Labels labels) {
+  if (!enabled_) return nullptr;
+  Key key{std::move(name), std::move(labels)};
+  auto it = metrics_.find(key);
+  if (it == metrics_.end()) {
+    it = metrics_.emplace(std::move(key), Metric{std::in_place_type<T>}).first;
+  }
+  T* metric = std::get_if<T>(&it->second);
+  if (metric == nullptr) {
+    throw std::logic_error("obs::Registry: metric '" + it->first.first +
+                           "' requested with a different kind than it was created");
+  }
+  return metric;
+}
+
+Counter* Registry::counter(std::string name, Labels labels) {
+  return get_or_create<Counter>(std::move(name), std::move(labels));
+}
+
+Gauge* Registry::gauge(std::string name, Labels labels) {
+  return get_or_create<Gauge>(std::move(name), std::move(labels));
+}
+
+Histogram* Registry::histogram(std::string name, Labels labels) {
+  return get_or_create<Histogram>(std::move(name), std::move(labels));
+}
+
+}  // namespace dvx::obs

@@ -1,0 +1,78 @@
+#include "obs/snapshot.hpp"
+
+#include <fstream>
+#include <ostream>
+
+namespace dvx::obs {
+namespace {
+
+runtime::Json labels_json(const Labels& labels) {
+  runtime::Json out = runtime::Json::object();
+  for (const auto& [k, v] : labels) out[k] = v;
+  return out;
+}
+
+runtime::Json entry_json(const Registry::Key& key, const Registry::Metric& metric) {
+  runtime::Json e = runtime::Json::object();
+  e["name"] = key.first;
+  e["labels"] = labels_json(key.second);
+  if (const auto* c = std::get_if<Counter>(&metric)) {
+    e["type"] = "counter";
+    e["value"] = c->value();
+  } else if (const auto* g = std::get_if<Gauge>(&metric)) {
+    e["type"] = "gauge";
+    e["last"] = g->last();
+    e["count"] = g->stats().count();
+    e["mean"] = g->stats().mean();
+    e["min"] = g->stats().min();
+    e["max"] = g->stats().max();
+  } else {
+    const auto& h = std::get<Histogram>(metric);
+    e["type"] = "histogram";
+    e["count"] = h.stats().count();
+    e["mean"] = h.stats().mean();
+    e["min"] = h.stats().min();
+    e["max"] = h.stats().max();
+    e["p50"] = h.buckets().quantile(0.50);
+    e["p90"] = h.buckets().quantile(0.90);
+    e["p99"] = h.buckets().quantile(0.99);
+    runtime::Json buckets = runtime::Json::array();
+    const auto& bs = h.buckets().buckets();
+    for (std::size_t b = 0; b < bs.size(); ++b) {
+      if (bs[b] == 0) continue;
+      runtime::Json pair = runtime::Json::array();
+      pair.push_back(static_cast<std::int64_t>(b));
+      pair.push_back(bs[b]);
+      buckets.push_back(std::move(pair));
+    }
+    e["buckets"] = std::move(buckets);
+  }
+  return e;
+}
+
+}  // namespace
+
+runtime::Json snapshot_json(const Registry& registry) {
+  runtime::Json doc = runtime::Json::object();
+  doc["schema"] = kMetricsSchema;
+  runtime::Json metrics = runtime::Json::array();
+  for (const auto& [key, metric] : registry.metrics()) {
+    metrics.push_back(entry_json(key, metric));
+  }
+  doc["metrics"] = std::move(metrics);
+  return doc;
+}
+
+void write_snapshot(const Registry& registry, std::ostream& os) {
+  snapshot_json(registry).dump(os, 2);
+  os << "\n";
+}
+
+bool write_snapshot_file(const Registry& registry, const std::string& path) {
+  std::ofstream f(path);
+  if (!f) return false;
+  write_snapshot(registry, f);
+  return f.good();
+}
+
+}  // namespace dvx::obs

@@ -1,0 +1,37 @@
+#pragma once
+// Snapshot serializer for the obs metrics registry: a versioned
+// `dvx-metrics/v1` JSON document (DESIGN.md §8). Metrics serialize in
+// sorted (name, labels) order with insertion-ordered keys inside each
+// entry, so two registries holding the same values produce byte-identical
+// documents regardless of attach order — the property the bench driver's
+// `--jobs` determinism contract extends to metrics files.
+
+#include <iosfwd>
+#include <string>
+
+#include "obs/metrics.hpp"
+#include "runtime/report.hpp"
+
+namespace dvx::obs {
+
+inline constexpr const char* kMetricsSchema = "dvx-metrics/v1";
+
+/// The full document:
+///   {"schema": "dvx-metrics/v1", "metrics": [<entry>...]}
+/// where an entry is {"name", "labels", "type", ...kind-specific fields}:
+///   counter   — "value"
+///   gauge     — "last", "count", "mean", "min", "max"
+///   histogram — "count", "mean", "min", "max", "p50", "p90", "p99",
+///               "buckets": [[bucket_index, count]...] (nonzero buckets;
+///               bucket b counts values in [2^b, 2^(b+1)), bucket 0 holds
+///               0 and 1, matching sim::LogHistogram)
+runtime::Json snapshot_json(const Registry& registry);
+
+/// Serializes snapshot_json() with 2-space indentation plus a trailing
+/// newline (the layout the golden tests pin down).
+void write_snapshot(const Registry& registry, std::ostream& os);
+
+/// Writes the document to `path`. Returns false on I/O failure.
+bool write_snapshot_file(const Registry& registry, const std::string& path);
+
+}  // namespace dvx::obs

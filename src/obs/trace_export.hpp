@@ -1,0 +1,38 @@
+#pragma once
+// Chrome-trace exporter for sim::Tracer (DESIGN.md §8).
+//
+// Renders the Extrae-style execution trace the paper shows in Fig. 5 —
+// per-node compute/communication state intervals plus point-to-point
+// message lines — as a Chrome Trace Event Format JSON object loadable by
+// chrome://tracing and Perfetto (ui.perfetto.dev):
+//   * one "thread" (tid) per simulated node, named via "M" metadata events;
+//   * each StateInterval becomes a complete ("X") duration event whose
+//     timestamp/duration are the *simulated* times in microseconds;
+//   * each MessageRecord becomes a flow ("s" -> "f") event pair from the
+//     sender's row at send time to the receiver's row at receive time,
+//     carrying bytes/tag as args — the message arrows of Fig. 5b.
+// Event order in the file is deterministic (metadata, then states, then
+// messages, each in record order), so exports are byte-stable.
+
+#include <iosfwd>
+#include <string>
+
+#include "runtime/report.hpp"
+#include "sim/trace.hpp"
+
+namespace dvx::obs {
+
+inline constexpr const char* kTraceSchema = "dvx-trace/v1";
+
+/// The {"traceEvents": [...], "displayTimeUnit": "ns", "otherData": {...}}
+/// JSON object for one recorded trace.
+runtime::Json chrome_trace_json(const sim::Tracer& tracer);
+
+/// Serializes chrome_trace_json() with 2-space indentation and a trailing
+/// newline (the layout the golden tests pin down).
+void write_chrome_trace(const sim::Tracer& tracer, std::ostream& os);
+
+/// Writes the document to `path`. Returns false on I/O failure.
+bool write_chrome_trace_file(const sim::Tracer& tracer, const std::string& path);
+
+}  // namespace dvx::obs

@@ -4,6 +4,7 @@
 #include <stdexcept>
 
 #include "check/check.hpp"
+#include "obs/collector.hpp"
 #include "runtime/report.hpp"
 
 namespace dvx::runtime {
@@ -28,21 +29,58 @@ RunResult collect(sim::Engine& engine, std::deque<NodeCtx>& ctxs) {
     b = std::min(b, c.roi_begin_time());
     e = std::max(e, c.roi_end_time());
   }
+  // The engine sits below dvx_obs in the library stack, so its diagnostics
+  // are harvested here rather than self-attached.
+  if (obs::Registry* m = obs::metrics()) {
+    m->counter("sim.engine.events")->add(engine.events_processed());
+    m->gauge("sim.engine.queue_depth")
+        ->sample(static_cast<double>(engine.max_queue_depth()));
+  }
   return RunResult{finished, e > b ? e - b : 0};
 }
+
+/// Turns the tracer on for the duration of one run when the ambient obs
+/// collector asked for a trace, and hands the collector only the records
+/// this run appended (a point may run the cluster several times).
+class TraceCapture {
+ public:
+  explicit TraceCapture(sim::Tracer& tracer)
+      : tracer_(tracer),
+        was_enabled_(tracer.enabled()),
+        first_state_(tracer.states().size()),
+        first_message_(tracer.messages().size()) {
+    if (obs::trace_wanted()) tracer_.set_enabled(true);
+  }
+  ~TraceCapture() {
+    obs::absorb_trace(tracer_, first_state_, first_message_);
+    tracer_.set_enabled(was_enabled_);
+  }
+  TraceCapture(const TraceCapture&) = delete;
+  TraceCapture& operator=(const TraceCapture&) = delete;
+
+  sim::Tracer* tracer_or_null() noexcept {
+    return tracer_.enabled() ? &tracer_ : nullptr;
+  }
+
+ private:
+  sim::Tracer& tracer_;
+  bool was_enabled_;
+  std::size_t first_state_;
+  std::size_t first_message_;
+};
 
 }  // namespace
 
 RunResult Cluster::run_dv(const DvProgram& program) {
   const check::ScopedBackend check_backend("dv");
+  TraceCapture capture(tracer_);
   sim::Engine engine;
   vic::DvFabric fabric(engine, config_.nodes, config_.dv);
   CostModel cost(config_.cost);
   std::deque<dvapi::DvContext> dv_ctxs;
   std::deque<NodeCtx> node_ctxs;
   for (int r = 0; r < config_.nodes; ++r) {
-    dv_ctxs.emplace_back(engine, fabric, r, config_.trace ? &tracer_ : nullptr,
-                         config_.dvapi);
+    dv_ctxs.emplace_back(engine, fabric, r, capture.tracer_or_null(), config_.dvapi);
     node_ctxs.emplace_back(engine, cost, tracer_, r);
   }
   for (int r = 0; r < config_.nodes; ++r) {
@@ -54,10 +92,11 @@ RunResult Cluster::run_dv(const DvProgram& program) {
 
 RunResult Cluster::run_mpi(const MpiProgram& program) {
   const check::ScopedBackend check_backend("mpi");
+  TraceCapture capture(tracer_);
   sim::Engine engine;
   ib::Fabric fabric(config_.nodes, config_.ib);
   mpi::MpiWorld world(engine, fabric, config_.nodes, config_.mpi,
-                      config_.trace ? &tracer_ : nullptr);
+                      capture.tracer_or_null());
   CostModel cost(config_.cost);
   std::deque<NodeCtx> node_ctxs;
   for (int r = 0; r < config_.nodes; ++r) {

@@ -27,12 +27,14 @@ void Engine::schedule_handle(Time t, std::coroutine_handle<> h) {
   DVX_CHECK(t >= now_) << "cannot schedule into the past: t=" << t
                        << " now=" << now_;
   queue_.push(Event{t, next_seq_++, h, {}});
+  max_queue_depth_ = std::max(max_queue_depth_, queue_.size());
 }
 
 void Engine::schedule(Time t, std::function<void()> fn) {
   DVX_CHECK(t >= now_) << "cannot schedule into the past: t=" << t
                        << " now=" << now_;
   queue_.push(Event{t, next_seq_++, {}, std::move(fn)});
+  max_queue_depth_ = std::max(max_queue_depth_, queue_.size());
 }
 
 void Engine::add_auditor(check::InvariantAuditor* auditor) {

@@ -51,6 +51,11 @@ class Engine {
   /// Total events dispatched (diagnostics / microbenchmarks).
   std::uint64_t events_processed() const noexcept { return events_processed_; }
 
+  /// High-water mark of the event queue (diagnostics; harvested into obs
+  /// metrics by the cluster runtime — the engine sits below dvx_obs and
+  /// cannot attach itself).
+  std::size_t max_queue_depth() const noexcept { return max_queue_depth_; }
+
   /// Registers an invariant auditor; audit() runs every audit_interval()
   /// dispatched events and once when the event queue drains. Observational
   /// only — auditors must not mutate simulation state (DESIGN.md §7).
@@ -116,6 +121,7 @@ class Engine {
   Time now_ = 0;
   std::uint64_t next_seq_ = 0;
   std::uint64_t events_processed_ = 0;
+  std::size_t max_queue_depth_ = 0;
   std::priority_queue<Event, std::vector<Event>, EventLater> queue_;
   std::deque<Root> roots_;  // deque: &done must stay stable
   std::vector<check::InvariantAuditor*> auditors_;

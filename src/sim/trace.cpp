@@ -14,6 +14,7 @@ const char* to_string(NodeState s) {
     case NodeState::kRecv: return "recv";
     case NodeState::kWait: return "wait";
     case NodeState::kBarrier: return "barrier";
+    case NodeState::kNumStates: break;  // sentinel, never recorded
   }
   return "?";
 }
@@ -100,10 +101,12 @@ std::string Tracer::ascii_timeline(int columns) const {
   if (t1 <= t0) t1 = t0 + 1;
   // One char per bucket: the state covering the majority of the bucket.
   // compute='#', send='>', recv='<', wait='.', barrier='|'
-  static const char glyph[5] = {'#', '>', '<', '.', '|'};
+  static constexpr char glyph[] = {'#', '>', '<', '.', '|'};
+  static_assert(sizeof(glyph) == kNodeStateCount,
+                "glyph table must cover every NodeState");
   std::vector<std::vector<Duration>> cover(
       static_cast<std::size_t>(max_node + 1),
-      std::vector<Duration>(static_cast<std::size_t>(columns) * 5, 0));
+      std::vector<Duration>(static_cast<std::size_t>(columns) * kNodeStateCount, 0));
   const double scale = static_cast<double>(columns) / static_cast<double>(t1 - t0);
   for (const auto& iv : states_) {
     int c0 = static_cast<int>(static_cast<double>(iv.begin - t0) * scale);
@@ -112,8 +115,8 @@ std::string Tracer::ascii_timeline(int columns) const {
     c1 = std::clamp(c1, c0, columns - 1);
     for (int c = c0; c <= c1; ++c) {
       cover[static_cast<std::size_t>(iv.node)]
-           [static_cast<std::size_t>(c) * 5 + static_cast<int>(iv.state)] +=
-          iv.end - iv.begin;
+           [static_cast<std::size_t>(c) * kNodeStateCount +
+            static_cast<std::size_t>(iv.state)] += iv.end - iv.begin;
     }
   }
   std::ostringstream os;
@@ -123,12 +126,12 @@ std::string Tracer::ascii_timeline(int columns) const {
     for (int c = 0; c < columns; ++c) {
       int best = -1;
       Duration best_d = 0;
-      for (int s = 0; s < 5; ++s) {
+      for (std::size_t s = 0; s < kNodeStateCount; ++s) {
         const Duration d = cover[static_cast<std::size_t>(n)]
-                                [static_cast<std::size_t>(c) * 5 + s];
+                                [static_cast<std::size_t>(c) * kNodeStateCount + s];
         if (d > best_d) {
           best_d = d;
-          best = s;
+          best = static_cast<int>(s);
         }
       }
       os << (best < 0 ? ' ' : glyph[best]);

@@ -21,7 +21,13 @@ enum class NodeState : std::uint8_t {
   kRecv,
   kWait,     // blocked in a wait/poll (MPI_Wait, group-counter wait, FIFO poll)
   kBarrier,
+  kNumStates,  // sentinel — keep last; sizes every per-state array
 };
+
+/// Number of real states; per-state arrays (summaries, glyph tables) size
+/// themselves from this so adding a state cannot silently truncate them.
+inline constexpr std::size_t kNodeStateCount =
+    static_cast<std::size_t>(NodeState::kNumStates);
 
 const char* to_string(NodeState s);
 
@@ -42,7 +48,7 @@ struct MessageRecord {
 };
 
 struct StateSummary {
-  Duration per_state[5] = {0, 0, 0, 0, 0};
+  Duration per_state[kNodeStateCount] = {};
   Duration total() const;
   double fraction(NodeState s) const;
 };

@@ -1,14 +1,31 @@
 #include "vic/dma.hpp"
 
 #include <algorithm>
+#include <string>
+
+#include "obs/collector.hpp"
 
 namespace dvx::vic {
+
+DmaEngine::DmaEngine(PcieLink& link, PcieDir dir, int node) : link_(link), dir_(dir) {
+  if (obs::Registry* m = obs::metrics()) {
+    const obs::Labels labels{
+        {"dir", dir == PcieDir::kHostToVic ? "to_vic" : "from_vic"},
+        {"node", std::to_string(node)}};
+    obs_bytes_ = m->counter("vic.dma.bytes", labels);
+    obs_transactions_ = m->counter("vic.dma.transactions", labels);
+  }
+}
 
 DmaResult DmaEngine::transfer(std::int64_t bytes, sim::Time ready) {
   const auto& p = link_.params();
   if (bytes <= 0) return DmaResult{ready, ready};
   ++transactions_;
   moved_ += bytes;
+  if (obs_bytes_ != nullptr) {
+    obs_bytes_->add(static_cast<std::uint64_t>(bytes));
+    obs_transactions_->inc();
+  }
 
   const double bw =
       dir_ == PcieDir::kHostToVic ? p.dma_to_vic_bw : p.dma_from_vic_bw;

@@ -8,6 +8,7 @@
 
 #include <cstdint>
 
+#include "obs/metrics.hpp"
 #include "sim/time.hpp"
 #include "vic/pcie.hpp"
 
@@ -20,7 +21,8 @@ struct DmaResult {
 
 class DmaEngine {
  public:
-  DmaEngine(PcieLink& link, PcieDir dir) : link_(link), dir_(dir) {}
+  /// `node` labels this engine's obs metrics (the owning VIC's id).
+  DmaEngine(PcieLink& link, PcieDir dir, int node = -1);
 
   /// Schedules a DMA of `bytes`; returns start/completion times. Serializes
   /// on both this engine and the PCIe direction it uses. Monotone in call
@@ -35,6 +37,9 @@ class DmaEngine {
  private:
   PcieLink& link_;
   PcieDir dir_;
+  // obs instrumentation (null when nothing collects).
+  obs::Counter* obs_bytes_ = nullptr;
+  obs::Counter* obs_transactions_ = nullptr;
   sim::Time busy_ = 0;
   std::int64_t moved_ = 0;
   std::uint64_t transactions_ = 0;

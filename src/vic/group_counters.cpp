@@ -3,8 +3,21 @@
 #include <algorithm>
 #include <limits>
 #include <stdexcept>
+#include <string>
+
+#include "obs/collector.hpp"
 
 namespace dvx::vic {
+
+GroupCounter::GroupCounter(sim::Engine& engine, int node)
+    : engine_(engine), cond_(engine) {
+  if (obs::Registry* m = obs::metrics()) {
+    const obs::Labels labels{{"node", std::to_string(node)}};
+    obs_waits_ = m->counter("vic.counter.waits", labels);
+    obs_wait_ps_ = m->counter("vic.counter.wait_ps", labels);
+    obs_timeouts_ = m->counter("vic.counter.timeouts", labels);
+  }
+}
 
 void GroupCounter::set(sim::Time at, std::uint64_t v) {
   value_ = v;
@@ -29,11 +42,25 @@ void GroupCounter::decrement(sim::Time at_last, std::uint64_t n) {
 }
 
 sim::Coro<bool> GroupCounter::wait_zero(sim::Duration timeout) {
+  const sim::Time begin = engine_.now();
   const sim::Time deadline =
       timeout < 0 ? std::numeric_limits<sim::Time>::max() : engine_.now() + timeout;
   for (;;) {
-    if (value_ == 0 && settle_ <= engine_.now()) co_return true;
-    if (engine_.now() >= deadline) co_return false;
+    if (value_ == 0 && settle_ <= engine_.now()) {
+      if (obs_waits_ != nullptr) {
+        obs_waits_->inc();
+        obs_wait_ps_->add(static_cast<std::uint64_t>(engine_.now() - begin));
+      }
+      co_return true;
+    }
+    if (engine_.now() >= deadline) {
+      if (obs_waits_ != nullptr) {
+        obs_waits_->inc();
+        obs_wait_ps_->add(static_cast<std::uint64_t>(engine_.now() - begin));
+        obs_timeouts_->inc();
+      }
+      co_return false;
+    }
     const sim::Time target = value_ == 0 ? std::min(settle_, deadline) : deadline;
     if (target == std::numeric_limits<sim::Time>::max()) {
       // No finite wake-up target: a timed wait would park a far-future event
@@ -45,10 +72,10 @@ sim::Coro<bool> GroupCounter::wait_zero(sim::Duration timeout) {
   }
 }
 
-GroupCounterFile::GroupCounterFile(sim::Engine& engine) {
+GroupCounterFile::GroupCounterFile(sim::Engine& engine, int node) {
   counters_.reserve(kNumGroupCounters);
   for (int i = 0; i < kNumGroupCounters; ++i) {
-    counters_.push_back(std::make_unique<GroupCounter>(engine));
+    counters_.push_back(std::make_unique<GroupCounter>(engine, node));
   }
 }
 

@@ -20,6 +20,7 @@
 #include <memory>
 #include <vector>
 
+#include "obs/metrics.hpp"
 #include "sim/engine.hpp"
 #include "sim/sync.hpp"
 #include "sim/task.hpp"
@@ -38,7 +39,9 @@ inline constexpr int kFirstUserCounter = 1;
 
 class GroupCounter {
  public:
-  explicit GroupCounter(sim::Engine& engine) : engine_(engine), cond_(engine) {}
+  /// `node` labels wait metrics (the owning VIC's id); all 64 counters of a
+  /// file share one (node-labeled) wait tally.
+  explicit GroupCounter(sim::Engine& engine, int node = -1);
 
   /// Sets the counter to `v`, effective at time `at`.
   void set(sim::Time at, std::uint64_t v);
@@ -57,6 +60,11 @@ class GroupCounter {
  private:
   sim::Engine& engine_;
   sim::Condition cond_;
+  // obs instrumentation (null when nothing collects): completed waits, time
+  // spent blocked in wait_zero, and waits that timed out.
+  obs::Counter* obs_waits_ = nullptr;
+  obs::Counter* obs_wait_ps_ = nullptr;
+  obs::Counter* obs_timeouts_ = nullptr;
   std::uint64_t value_ = 0;
   sim::Time settle_ = 0;
   std::uint64_t lost_ = 0;
@@ -65,7 +73,7 @@ class GroupCounter {
 /// The 64-counter file of one VIC.
 class GroupCounterFile {
  public:
-  explicit GroupCounterFile(sim::Engine& engine);
+  explicit GroupCounterFile(sim::Engine& engine, int node = -1);
   GroupCounterFile(const GroupCounterFile&) = delete;
   GroupCounterFile& operator=(const GroupCounterFile&) = delete;
 

@@ -1,24 +1,37 @@
 #include "vic/surprise_fifo.hpp"
 
 #include <stdexcept>
+#include <string>
 
 #include "check/check.hpp"
+#include "obs/collector.hpp"
 
 namespace dvx::vic {
 
-SurpriseFifo::SurpriseFifo(sim::Engine& engine, std::size_t capacity)
+SurpriseFifo::SurpriseFifo(sim::Engine& engine, std::size_t capacity, int node)
     : engine_(engine), cond_(engine), capacity_(capacity) {
   if (capacity == 0) throw std::invalid_argument("SurpriseFifo: zero capacity");
+  if (obs::Registry* m = obs::metrics()) {
+    const obs::Labels labels{{"node", std::to_string(node)}};
+    obs_depth_ = m->gauge("vic.fifo.depth", labels);
+    obs_deposits_ = m->counter("vic.fifo.deposits", labels);
+    obs_dropped_ = m->counter("vic.fifo.dropped", labels);
+  }
 }
 
 void SurpriseFifo::deposit(sim::Time at, Packet p) {
   if (heap_.size() >= capacity_) {
     ++dropped_;
+    if (obs_dropped_ != nullptr) obs_dropped_->inc();
     return;
   }
   if (at < engine_.now()) at = engine_.now();
   heap_.push(Entry{at, seq_++, p});
   ++deposited_;
+  if (obs_deposits_ != nullptr) {
+    obs_deposits_->inc();
+    obs_depth_->sample(static_cast<double>(heap_.size()));
+  }
   cond_.notify_all(engine_.now());
 }
 

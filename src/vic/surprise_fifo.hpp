@@ -12,6 +12,7 @@
 #include <queue>
 #include <vector>
 
+#include "obs/metrics.hpp"
 #include "sim/engine.hpp"
 #include "sim/sync.hpp"
 #include "sim/task.hpp"
@@ -25,7 +26,10 @@ class SurpriseFifo {
   /// "thousands of 8-byte messages": default ring of 64 Ki entries.
   static constexpr std::size_t kDefaultCapacity = 64 * 1024;
 
-  explicit SurpriseFifo(sim::Engine& engine, std::size_t capacity = kDefaultCapacity);
+  /// `node` labels this FIFO's obs metrics (the owning VIC's id); pass the
+  /// default for standalone FIFOs outside a cluster.
+  explicit SurpriseFifo(sim::Engine& engine, std::size_t capacity = kDefaultCapacity,
+                        int node = -1);
 
   /// Network-side deposit: the packet becomes visible to the host at `at`.
   /// On overflow the packet is dropped (counted in dropped()).
@@ -60,6 +64,11 @@ class SurpriseFifo {
 
   sim::Engine& engine_;
   sim::Condition cond_;
+  // obs instrumentation (null when nothing collects); the depth gauge's max
+  // is the FIFO's high-water mark.
+  obs::Gauge* obs_depth_ = nullptr;
+  obs::Counter* obs_deposits_ = nullptr;
+  obs::Counter* obs_dropped_ = nullptr;
   std::priority_queue<Entry, std::vector<Entry>, Later> heap_;
   std::size_t capacity_;
   std::uint64_t seq_ = 0;

@@ -13,11 +13,11 @@ Vic::Vic(sim::Engine& engine, DvFabric& fabric, int id, const VicParams& params)
       fabric_(fabric),
       id_(id),
       memory_(params.dv_memory_words),
-      counters_(engine),
-      fifo_(engine, params.fifo_capacity),
+      counters_(engine, id),
+      fifo_(engine, params.fifo_capacity, id),
       pcie_(params.pcie),
-      dma_down_(pcie_, PcieDir::kHostToVic),
-      dma_up_(pcie_, PcieDir::kVicToHost) {}
+      dma_down_(pcie_, PcieDir::kHostToVic, id),
+      dma_up_(pcie_, PcieDir::kVicToHost, id) {}
 
 void Vic::deliver(const Packet& p, sim::Time arrival) {
   const check::ScopedNode check_node(id_);

@@ -4,6 +4,7 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <cmath>
 #include <map>
 #include <set>
 #include <vector>
@@ -11,6 +12,7 @@
 #include "dvnet/cycle_switch.hpp"
 #include "dvnet/fabric_model.hpp"
 #include "dvnet/geometry.hpp"
+#include "dvnet/traffic.hpp"
 #include "sim/rng.hpp"
 
 namespace dvnet = dvx::dvnet;
@@ -281,6 +283,59 @@ TEST(FabricModel, ResetClearsBacklog) {
   EXPECT_EQ(fm.injection_free(0), 0);
   EXPECT_EQ(fm.ejection_free(1), 0);
   EXPECT_EQ(fm.words_sent(), 0u);
+}
+
+// -- synthetic traffic cross-checks ------------------------------------------
+
+TEST(Traffic, PermutationPatternsAreDeterministicAndInRange) {
+  sim::Xoshiro256 rng(1);
+  dvnet::TrafficConfig cfg;
+  for (auto p : {dvnet::TrafficPattern::kTranspose, dvnet::TrafficPattern::kBitReverse}) {
+    cfg.pattern = p;
+    for (int src = 0; src < 32; ++src) {
+      const int d1 = dvnet::traffic_destination(cfg, src, 32, rng);
+      const int d2 = dvnet::traffic_destination(cfg, src, 32, rng);
+      EXPECT_EQ(d1, d2);  // permutations ignore the RNG
+      EXPECT_GE(d1, 0);
+      EXPECT_LT(d1, 32);
+    }
+  }
+}
+
+TEST(Traffic, UniformTrafficStaysNearTheUncontendedBase) {
+  const dvnet::Geometry g = dvnet::Geometry::for_ports(32, 4);
+  dvnet::CycleSwitch sw(g);
+  dvnet::TrafficConfig cfg;
+  cfg.pattern = dvnet::TrafficPattern::kUniform;
+  cfg.offered_load = 0.08;
+  const auto r = dvnet::run_synthetic(sw, cfg, 4000, 23);
+  ASSERT_GT(r.delivered, 0u);
+  EXPECT_TRUE(r.drained);
+  const double base = dvnet::FabricParams{.geometry = g}.derived_base_hops();
+  // Benign traffic: measured traversal within one hop of the analytic mean.
+  EXPECT_LT(std::abs(r.hops.mean() - base), 1.0);
+}
+
+TEST(Traffic, HotspotExtraHopsStraddleTheAnalyticDeflectionPenalty) {
+  // The cycle-accurate switch and the analytic FabricModel were calibrated
+  // independently; this pins the §II claim that ties them together. Under
+  // the bench's calibrated hotspot point (hot-port offered rate ~0.77 of
+  // its ejection capacity), measured mean extra hops must straddle
+  // FabricParams::contended_extra_hops = 2.0.
+  const dvnet::Geometry g = dvnet::Geometry::for_ports(32, 4);
+  dvnet::CycleSwitch sw(g);
+  dvnet::TrafficConfig cfg;
+  cfg.pattern = dvnet::TrafficPattern::kHotspot;
+  cfg.offered_load = 0.08;
+  cfg.hotspot_fraction = 0.3;
+  const auto r = dvnet::run_synthetic(sw, cfg, 4000, 23);
+  ASSERT_GT(r.delivered, 0u);
+  const dvnet::FabricParams fp{.geometry = g};
+  const double extra = r.hops.mean() - fp.derived_base_hops();
+  EXPECT_GE(extra, fp.contended_extra_hops - 0.5);
+  EXPECT_LE(extra, fp.contended_extra_hops + 0.5);
+  // Deflections are what buys those hops: contention must show up here too.
+  EXPECT_GT(r.deflections.mean(), 0.5);
 }
 
 }  // namespace

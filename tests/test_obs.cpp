@@ -1,0 +1,291 @@
+// Tests for dvx::obs: registry get-or-create semantics, the disabled-mode
+// contract, the ambient collector scope, golden-file checks for the
+// dvx-metrics/v1 snapshot and the Chrome-trace export, and the --jobs
+// byte-identity contract extended to metrics/trace output files.
+//
+// Regenerate the golden files after an intentional format change with
+//   DVX_UPDATE_GOLDEN=1 ./build/tests/test_obs
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <string>
+
+#include "exp/driver.hpp"
+#include "exp/workload.hpp"
+#include "json_lite.hpp"
+#include "obs/collector.hpp"
+#include "obs/metrics.hpp"
+#include "obs/snapshot.hpp"
+#include "obs/trace_export.hpp"
+#include "sim/time.hpp"
+#include "sim/trace.hpp"
+
+namespace obs = dvx::obs;
+namespace sim = dvx::sim;
+namespace exp = dvx::exp;
+namespace fs = std::filesystem;
+using dvx::testing::jsonlite::is_valid_json;
+
+namespace {
+
+// -- registry ----------------------------------------------------------------
+
+TEST(Registry, FactoriesGetOrCreateAndShare) {
+  obs::Registry r;
+  obs::Counter* a = r.counter("dv.fabric.words");
+  obs::Counter* b = r.counter("dv.fabric.words");
+  ASSERT_NE(a, nullptr);
+  EXPECT_EQ(a, b);  // same (name, labels) -> same object
+  a->add(3);
+  b->inc();
+  EXPECT_EQ(a->value(), 4u);
+  // Different labels are a different family member.
+  obs::Counter* labeled = r.counter("dv.fabric.words", {{"node", "1"}});
+  EXPECT_NE(labeled, a);
+  EXPECT_EQ(labeled->value(), 0u);
+  EXPECT_EQ(r.size(), 2u);
+}
+
+TEST(Registry, KindMismatchThrows) {
+  obs::Registry r;
+  r.counter("metric.x");
+  EXPECT_THROW(r.gauge("metric.x"), std::logic_error);
+  EXPECT_THROW(r.histogram("metric.x"), std::logic_error);
+  // Same name with different labels is a different key: allowed.
+  EXPECT_NE(r.gauge("metric.x", {{"k", "v"}}), nullptr);
+}
+
+TEST(Registry, DisabledRegistryHandsOutNullptr) {
+  obs::Registry r(false);
+  EXPECT_FALSE(r.enabled());
+  EXPECT_EQ(r.counter("c"), nullptr);
+  EXPECT_EQ(r.gauge("g"), nullptr);
+  EXPECT_EQ(r.histogram("h"), nullptr);
+  EXPECT_EQ(r.size(), 0u);
+}
+
+TEST(Registry, GaugeTracksHighWaterMark) {
+  obs::Registry r;
+  obs::Gauge* g = r.gauge("vic.fifo.depth", {{"node", "0"}});
+  g->sample(2);
+  g->sample(7);
+  g->sample(1);
+  EXPECT_EQ(g->last(), 1.0);
+  EXPECT_EQ(g->stats().max(), 7.0);
+  EXPECT_EQ(g->stats().count(), 3u);
+}
+
+// -- ambient collector -------------------------------------------------------
+
+TEST(Collector, AmbientScopeOpensAndRestores) {
+  EXPECT_EQ(obs::current_collector(), nullptr);
+  EXPECT_EQ(obs::metrics(), nullptr);
+  EXPECT_FALSE(obs::trace_wanted());
+  obs::Collector outer;
+  {
+    const obs::ScopedCollector s1(outer);
+    EXPECT_EQ(obs::current_collector(), &outer);
+    EXPECT_EQ(obs::metrics(), &outer.registry);
+    obs::Collector inner;
+    inner.want_trace = true;
+    {
+      const obs::ScopedCollector s2(inner);
+      EXPECT_EQ(obs::metrics(), &inner.registry);
+      EXPECT_TRUE(obs::trace_wanted());
+    }
+    EXPECT_EQ(obs::current_collector(), &outer);
+  }
+  EXPECT_EQ(obs::metrics(), nullptr);
+}
+
+TEST(Collector, AbsorbTraceCopiesOnlyTheSuffix) {
+  sim::Tracer src(true);
+  src.record_state(0, sim::NodeState::kCompute, 0, sim::us(1));
+  src.record_message(0, 1, 0, sim::us(1), 8, 0);
+  obs::Collector c;
+  c.want_trace = true;
+  const obs::ScopedCollector scope(c);
+  // Records present before the capture window must not be absorbed.
+  src.record_state(1, sim::NodeState::kWait, 0, sim::us(2));
+  obs::absorb_trace(src, 1, 1);
+  ASSERT_EQ(c.trace.states().size(), 1u);
+  EXPECT_EQ(c.trace.states()[0].node, 1);
+  EXPECT_TRUE(c.trace.messages().empty());
+}
+
+// -- golden files ------------------------------------------------------------
+
+std::string slurp(const std::string& path) {
+  std::ifstream in(path);
+  std::stringstream ss;
+  ss << in.rdbuf();
+  return ss.str();
+}
+
+/// Compares `got` against the golden file; rewrites the golden instead when
+/// DVX_UPDATE_GOLDEN is set in the environment.
+void expect_matches_golden(const std::string& got, const std::string& file) {
+  const std::string path = std::string(DVX_GOLDEN_DIR) + "/" + file;
+  const char* update = std::getenv("DVX_UPDATE_GOLDEN");
+  if (update != nullptr && update[0] != '\0' && update[0] != '0') {
+    std::ofstream out(path);
+    ASSERT_TRUE(out.is_open()) << "cannot rewrite " << path;
+    out << got;
+    return;
+  }
+  std::ifstream golden(path);
+  ASSERT_TRUE(golden.is_open()) << "missing golden file " << path;
+  std::stringstream want;
+  want << golden.rdbuf();
+  EXPECT_EQ(got, want.str()) << "regenerate with DVX_UPDATE_GOLDEN=1 if the "
+                                "format change is intentional";
+}
+
+void fill_reference_registry(obs::Registry& r) {
+  r.counter("dv.fabric.words")->add(1024);
+  r.counter("dv.switch.deflections", {{"angle", "0"}, {"cylinder", "1"}})->add(3);
+  obs::Gauge* depth = r.gauge("vic.fifo.depth", {{"node", "0"}});
+  depth->sample(2);
+  depth->sample(5);
+  depth->sample(1);
+  obs::Histogram* h = r.histogram("mpi.msg.bytes");
+  h->observe(8);
+  h->observe(8);
+  h->observe(4096);
+}
+
+TEST(Snapshot, MatchesGoldenDocument) {
+  obs::Registry r;
+  fill_reference_registry(r);
+  std::ostringstream os;
+  obs::write_snapshot(r, os);
+  EXPECT_TRUE(is_valid_json(os.str()));
+  EXPECT_NE(os.str().find("\"schema\": \"dvx-metrics/v1\""), std::string::npos);
+  expect_matches_golden(os.str(), "metrics_snapshot.json");
+}
+
+TEST(Snapshot, AttachOrderDoesNotChangeTheBytes) {
+  obs::Registry forward;
+  fill_reference_registry(forward);
+  // Same metrics, created in reverse order with the values applied the
+  // same way: the sorted-key serialization must produce identical bytes.
+  obs::Registry backward;
+  obs::Histogram* h = backward.histogram("mpi.msg.bytes");
+  h->observe(8);
+  h->observe(8);
+  h->observe(4096);
+  obs::Gauge* depth = backward.gauge("vic.fifo.depth", {{"node", "0"}});
+  depth->sample(2);
+  depth->sample(5);
+  depth->sample(1);
+  backward.counter("dv.switch.deflections", {{"angle", "0"}, {"cylinder", "1"}})->add(3);
+  backward.counter("dv.fabric.words")->add(1024);
+  std::ostringstream a, b;
+  obs::write_snapshot(forward, a);
+  obs::write_snapshot(backward, b);
+  EXPECT_EQ(a.str(), b.str());
+}
+
+sim::Tracer make_reference_tracer() {
+  sim::Tracer t(true);
+  t.record_state(0, sim::NodeState::kCompute, 0, sim::us(2));
+  t.record_state(1, sim::NodeState::kWait, 0, sim::us(1));
+  t.record_state(1, sim::NodeState::kRecv, sim::us(1), sim::us(2));
+  t.record_message(0, 1, sim::us(1), sim::us(2), 64, 7);
+  return t;
+}
+
+TEST(ChromeTrace, MatchesGoldenDocument) {
+  const sim::Tracer t = make_reference_tracer();
+  std::ostringstream os;
+  obs::write_chrome_trace(t, os);
+  EXPECT_TRUE(is_valid_json(os.str()));
+  EXPECT_NE(os.str().find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(os.str().find("\"dvx-trace/v1\""), std::string::npos);
+  expect_matches_golden(os.str(), "chrome_trace.json");
+}
+
+TEST(ChromeTrace, EmptyTracerStillProducesAValidDocument) {
+  const sim::Tracer t(true);
+  const std::string doc = obs::chrome_trace_json(t).dump();
+  EXPECT_TRUE(is_valid_json(doc));
+  // Only the process-metadata event; no duration or flow events.
+  EXPECT_NE(doc.find("\"traceEvents\""), std::string::npos);
+  EXPECT_EQ(doc.find("\"ph\": \"X\""), std::string::npos);
+  EXPECT_EQ(doc.find("\"ph\": \"s\""), std::string::npos);
+}
+
+// -- end-to-end: bench output files ------------------------------------------
+
+/// Runs fig4 through the parallel driver with metrics/trace output into
+/// fresh directories and returns {filename -> bytes} for both outputs.
+std::map<std::string, std::string> run_with_outputs(int jobs,
+                                                    const std::string& base) {
+  exp::RunOptions opt;
+  opt.fast = true;
+  opt.nodes = {2};
+  std::ostringstream tables;
+  opt.out = &tables;
+  opt.metrics_dir = base + "/metrics";
+  opt.trace_dir = base + "/trace";
+  const auto* w = exp::Registry::instance().find("fig4");
+  EXPECT_NE(w, nullptr);
+  dvx::runtime::ResultSink sink;
+  EXPECT_EQ(exp::run_workloads({w}, opt, jobs, sink), 0);
+  std::map<std::string, std::string> files;
+  for (const std::string& dir : {opt.metrics_dir, opt.trace_dir}) {
+    for (const auto& entry : fs::directory_iterator(dir)) {
+      files[entry.path().filename().string()] = slurp(entry.path().string());
+    }
+  }
+  return files;
+}
+
+TEST(BenchOutputs, MetricsAndTracesAreByteIdenticalAcrossJobsLevels) {
+  const std::string base = ::testing::TempDir() + "/dvx_obs_jobs";
+  fs::remove_all(base);
+  const auto serial = run_with_outputs(1, base + "/j1");
+  const auto parallel = run_with_outputs(4, base + "/j4");
+  ASSERT_FALSE(serial.empty());
+  EXPECT_EQ(serial, parallel);  // same names, same bytes
+  bool saw_metrics = false, saw_trace = false;
+  for (const auto& [name, bytes] : serial) {
+    EXPECT_TRUE(is_valid_json(bytes)) << name;
+    if (name.rfind("METRICS_", 0) == 0) {
+      saw_metrics = true;
+      EXPECT_NE(bytes.find("\"schema\": \"dvx-metrics/v1\""), std::string::npos)
+          << name;
+      // The instrumented engine ran: the event tally cannot be zero.
+      EXPECT_NE(bytes.find("sim.engine.events"), std::string::npos) << name;
+    }
+    if (name.rfind("TRACE_", 0) == 0) {
+      saw_trace = true;
+      EXPECT_NE(bytes.find("\"traceEvents\""), std::string::npos) << name;
+    }
+  }
+  EXPECT_TRUE(saw_metrics);
+  EXPECT_TRUE(saw_trace);
+  fs::remove_all(base);
+}
+
+TEST(BenchOutputs, NoCollectorMeansNoAmbientRegistry) {
+  // Production benches without --metrics-out must not observe any ambient
+  // collector after a run (the scope is strictly point-local).
+  exp::RunOptions opt;
+  opt.fast = true;
+  opt.nodes = {2};
+  std::ostringstream tables;
+  opt.out = &tables;
+  const auto* w = exp::Registry::instance().find("fig4");
+  ASSERT_NE(w, nullptr);
+  dvx::runtime::ResultSink sink;
+  EXPECT_EQ(exp::run_workloads({w}, opt, 1, sink), 0);
+  EXPECT_EQ(obs::current_collector(), nullptr);
+}
+
+}  // namespace
