@@ -1,0 +1,233 @@
+// dvx_perf — wall-clock microbenchmarks of the simulator's hot paths.
+//
+// Three rates bound how large a simulated experiment can be:
+//   * engine_event_storm      — DES dispatch throughput (events/s): a seeded
+//     storm of plain callbacks interleaved with coroutine delay chains, so
+//     both payload kinds (side-slab callbacks, handle slab) are exercised.
+//   * switch_drain_congested  — cycle-accurate switch throughput (cycles/s)
+//     draining a deep uniform-random backlog on a 256-port fabric: deep port
+//     queues, saturated occupancy, then the sparse drain tail.
+//   * fabric_burst            — analytic FabricModel bursts/s.
+//
+// These are wall-clock measurements of the *simulator* (the one place host
+// time is allowed); the measured work is fully deterministic (fixed seeds,
+// fixed counts), so rates are comparable run-to-run on one machine. Results
+// are emitted as a dvx-perf/v1 JSON document; CI compares them against the
+// committed BENCH_PERF.json baseline with a generous threshold (see
+// tools/check_perf_regression.py) so every perf PR has a measured
+// trajectory.
+
+#include <algorithm>
+#include <chrono>
+#include <cstdint>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "dvnet/cycle_switch.hpp"
+#include "dvnet/fabric_model.hpp"
+#include "runtime/report.hpp"
+#include "sim/engine.hpp"
+#include "sim/rng.hpp"
+
+namespace {
+
+namespace sim = dvx::sim;
+namespace dvnet = dvx::dvnet;
+namespace runtime = dvx::runtime;
+
+using Clock = std::chrono::steady_clock;
+
+struct BenchResult {
+  std::string name;
+  std::string unit;
+  double work = 0;     // units processed per repetition
+  double seconds = 0;  // best (fastest) repetition
+  double rate = 0;     // work / seconds of the best repetition
+};
+
+double seconds_since(Clock::time_point t0) {
+  return std::chrono::duration<double>(Clock::now() - t0).count();
+}
+
+/// DES dispatch throughput under a deep pending-event population: 2^20
+/// one-shot callbacks pre-loaded at seeded random times across a 1 ms
+/// window (the event heap stays ~10^6 entries deep through most of the
+/// run — the regime a large fabric simulation with many outstanding
+/// packets puts the scheduler in), plus a handful of coroutine delay
+/// chains so the handle path is exercised too.
+BenchResult engine_event_storm() {
+  constexpr std::uint64_t kBurst = 1 << 20;
+  constexpr int kCoros = 16;
+  constexpr int kHops = 256;
+
+  const auto t0 = Clock::now();
+  sim::Engine engine;
+  engine.set_audit_interval(0);
+  sim::Xoshiro256 rng(42);
+  for (std::uint64_t i = 0; i < kBurst; ++i) {
+    engine.schedule(sim::ns(static_cast<double>(rng.below(1u << 20))), [] {});
+  }
+  for (int c = 0; c < kCoros; ++c) {
+    engine.spawn([](sim::Engine& eng, sim::Xoshiro256 coro_rng) -> sim::Coro<void> {
+      for (int h = 0; h < kHops; ++h) {
+        co_await eng.delay(sim::ns(static_cast<double>(1 + coro_rng.below(256))));
+      }
+    }(engine, sim::Xoshiro256(static_cast<std::uint64_t>(c) + 1)));
+  }
+  engine.run();
+  const double s = seconds_since(t0);
+  const double work = static_cast<double>(engine.events_processed());
+  return {"engine_event_storm", "events/s", work, s, work / s};
+}
+
+/// Cycle-accurate switch throughput draining a congested 256-port fabric:
+/// 4096 uniform-random packets queued per port, injected under backpressure
+/// until the backlog clears, then the in-flight tail.
+BenchResult switch_drain_congested() {
+  constexpr int kRounds = 4096;
+  const dvnet::Geometry g = dvnet::Geometry::for_ports(256, 4);
+
+  const auto t0 = Clock::now();
+  dvnet::CycleSwitch sw(g);
+  sim::Xoshiro256 rng(7);
+  const auto ports = static_cast<std::uint64_t>(g.ports());
+  for (int r = 0; r < kRounds; ++r) {
+    for (int p = 0; p < g.ports(); ++p) {
+      sw.inject(p, static_cast<int>(rng.below(ports)));
+    }
+  }
+  if (!sw.drain(100'000'000)) {
+    std::cerr << "dvx_perf: switch_drain_congested failed to drain\n";
+    std::exit(1);
+  }
+  const double s = seconds_since(t0);
+  const double work = static_cast<double>(sw.cycle());
+  return {"switch_drain_congested", "cycles/s", work, s, work / s};
+}
+
+/// Analytic fabric-model throughput: 2^20 eight-word bursts between seeded
+/// random port pairs at a steady virtual injection cadence.
+BenchResult fabric_burst() {
+  constexpr std::uint64_t kBursts = 1 << 20;
+
+  const auto t0 = Clock::now();
+  dvnet::FabricModel fm(dvnet::FabricParams{.geometry = {8, 4}});
+  sim::Xoshiro256 rng(2);
+  sim::Time now = 0;
+  for (std::uint64_t i = 0; i < kBursts; ++i) {
+    fm.send_burst(static_cast<int>(rng.below(32)), static_cast<int>(rng.below(32)), 8,
+                  now);
+    now += sim::ns(10);
+  }
+  const double s = seconds_since(t0);
+  const double work = static_cast<double>(kBursts);
+  return {"fabric_burst", "bursts/s", work, s, work / s};
+}
+
+using BenchFn = BenchResult (*)();
+struct BenchEntry {
+  const char* name;
+  BenchFn fn;
+};
+constexpr BenchEntry kBenches[] = {
+    {"engine_event_storm", engine_event_storm},
+    {"switch_drain_congested", switch_drain_congested},
+    {"fabric_burst", fabric_burst},
+};
+
+int usage(int code) {
+  std::cout << "dvx_perf — simulator hot-path microbenchmarks (dvx-perf/v1)\n\n"
+               "usage: dvx_perf [--repeat N] [--filter SUBSTR] [--json PATH]"
+               " [--list]\n\n"
+               "  --repeat N      repetitions per benchmark; the fastest is"
+               " reported (default 3)\n"
+               "  --filter SUBSTR run only benchmarks whose name contains"
+               " SUBSTR\n"
+               "  --json PATH     write the dvx-perf/v1 document to PATH\n"
+               "  --list          list benchmark names and exit\n";
+  return code;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  int repeat = 3;
+  std::string filter;
+  std::string json_path;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto value = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        std::cerr << "dvx_perf: " << arg << " needs a value\n";
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (arg == "--help" || arg == "-h") return usage(0);
+    if (arg == "--list") {
+      for (const auto& b : kBenches) std::cout << b.name << "\n";
+      return 0;
+    }
+    if (arg == "--repeat") {
+      repeat = std::atoi(value());
+      if (repeat < 1) {
+        std::cerr << "dvx_perf: --repeat must be >= 1\n";
+        return 2;
+      }
+    } else if (arg == "--filter") {
+      filter = value();
+    } else if (arg == "--json") {
+      json_path = value();
+    } else {
+      std::cerr << "dvx_perf: unknown argument '" << arg << "'\n";
+      return usage(2);
+    }
+  }
+
+  std::vector<BenchResult> results;
+  for (const auto& bench : kBenches) {
+    if (!filter.empty() && std::string(bench.name).find(filter) == std::string::npos) {
+      continue;
+    }
+    BenchResult best;
+    for (int r = 0; r < repeat; ++r) {
+      BenchResult one = bench.fn();
+      if (r == 0 || one.seconds < best.seconds) best = one;
+    }
+    std::cout << best.name << ": " << static_cast<std::uint64_t>(best.rate) << " "
+              << best.unit << "  (" << best.work << " in " << best.seconds << " s, best of "
+              << repeat << ")\n";
+    results.push_back(best);
+  }
+  if (results.empty()) {
+    std::cerr << "dvx_perf: no benchmark matches filter '" << filter << "'\n";
+    return 2;
+  }
+
+  if (!json_path.empty()) {
+    runtime::Json doc = runtime::Json::object();
+    doc["schema"] = "dvx-perf/v1";
+    doc["repeat"] = repeat;
+    runtime::Json benches = runtime::Json::array();
+    for (const auto& r : results) {
+      runtime::Json b = runtime::Json::object();
+      b["name"] = r.name;
+      b["unit"] = r.unit;
+      b["work"] = r.work;
+      b["seconds"] = r.seconds;
+      b["rate"] = r.rate;
+      benches.push_back(std::move(b));
+    }
+    doc["benchmarks"] = std::move(benches);
+    std::ofstream out(json_path);
+    if (!out) {
+      std::cerr << "dvx_perf: cannot write " << json_path << "\n";
+      return 1;
+    }
+    out << doc.dump(2) << "\n";
+  }
+  return 0;
+}

@@ -66,6 +66,7 @@ int traffic_destination(const TrafficConfig& cfg, int src, int ports,
 TrafficResult run_synthetic(CycleSwitch& sw, const TrafficConfig& cfg,
                             std::uint64_t cycles, std::uint64_t seed) {
   sw.clear_deliveries();
+  const std::uint64_t delivered_before = sw.delivered_total();
   sim::Xoshiro256 rng(seed);
   const int ports = sw.geometry().ports();
   TrafficResult r;
@@ -79,7 +80,7 @@ TrafficResult run_synthetic(CycleSwitch& sw, const TrafficConfig& cfg,
     sw.step();
   }
   r.drained = sw.drain();
-  r.delivered = sw.deliveries().size();
+  r.delivered = sw.delivered_total() - delivered_before;
   r.hops = sw.hop_stats();
   r.deflections = sw.deflection_stats();
   r.latency = sw.latency_stats();

@@ -5,12 +5,19 @@
 // Top-level simulated processes are Coro<void> coroutines registered through
 // spawn(); they suspend on awaitables (delay, conditions, communication ops)
 // and the engine resumes them at the correct virtual time.
+//
+// Hot-path layout (DESIGN.md §10): the ready queue is an index-based 4-ary
+// min-heap over 16-byte POD entries — sift operations move (time, key) pairs,
+// never payloads. Payloads live in recycled side-slabs (one for coroutine
+// handles, one for the rarer std::function callbacks) addressed by a slot id
+// packed into the low bits of the comparison key, so steady-state dispatch
+// performs zero heap allocations.
 
 #include <coroutine>
 #include <cstdint>
 #include <deque>
 #include <functional>
-#include <queue>
+#include <new>
 #include <vector>
 
 #include "check/audit.hpp"
@@ -100,21 +107,60 @@ class Engine {
   }
 
  private:
-  struct Event {
+  /// 16-byte heap entry. `key` packs (seq << kKeyShift) | kind | slot: seq in
+  /// the high bits makes lexicographic (t, key) comparison reproduce the
+  /// documented (time, insertion-seq) dispatch order, while the low bits
+  /// locate the payload without a third word the sift would have to move.
+  struct HeapEntry {
     Time t;
-    std::uint64_t seq;
-    std::coroutine_handle<> handle{};   // either handle ...
-    std::function<void()> fn{};         // ... or callback is set
+    std::uint64_t key;
   };
-  struct EventLater {
-    bool operator()(const Event& a, const Event& b) const noexcept {
-      return a.t != b.t ? a.t > b.t : a.seq > b.seq;
-    }
-  };
+  static_assert(sizeof(HeapEntry) == 16);
+
+  static constexpr int kSlotBits = 25;  ///< 32M outstanding events per kind
+  static constexpr std::uint64_t kSlotMask = (std::uint64_t{1} << kSlotBits) - 1;
+  static constexpr std::uint64_t kCallbackBit = std::uint64_t{1} << kSlotBits;
+  static constexpr int kKeyShift = kSlotBits + 1;
+  /// Insertion sequences per busy period (the counter resets whenever the
+  /// heap drains, so this bound is per uninterrupted run, not per Engine).
+  static constexpr std::uint64_t kMaxSeq = std::uint64_t{1} << (64 - kKeyShift);
+
   struct Root {
     Coro<void>::Handle handle{};
     bool done = false;
   };
+
+  static bool entry_before(const HeapEntry& a, const HeapEntry& b) noexcept {
+    return a.t != b.t ? a.t < b.t : a.key < b.key;
+  }
+
+  /// Backing-store allocator that hands out 64-byte-aligned blocks so the
+  /// heap's cache-line geometry (see kHeapPad) survives vector growth.
+  template <class T>
+  struct CacheAlignedAlloc {
+    using value_type = T;
+    CacheAlignedAlloc() = default;
+    template <class U>
+    CacheAlignedAlloc(const CacheAlignedAlloc<U>&) noexcept {}
+    T* allocate(std::size_t n) {
+      return static_cast<T*>(::operator new(n * sizeof(T), std::align_val_t{64}));
+    }
+    void deallocate(T* p, std::size_t) noexcept {
+      ::operator delete(p, std::align_val_t{64});
+    }
+    bool operator==(const CacheAlignedAlloc&) const noexcept { return true; }
+  };
+
+  /// The heap array starts with kHeapPad unused entries. With logical node i
+  /// stored at heap_[i + kHeapPad], a node's 4-child group (logical 4i+1 ..
+  /// 4i+4, i.e. byte offset 64(i+1) from the 64-byte-aligned base) occupies
+  /// exactly one cache line, so each sift level costs one line instead of
+  /// two straddled ones.
+  static constexpr std::size_t kHeapPad = 3;
+
+  void heap_push(Time t, std::uint64_t key);
+  HeapEntry heap_pop();
+  std::uint64_t make_key(bool callback, std::uint32_t slot);
 
   void run_audits();
 
@@ -122,7 +168,14 @@ class Engine {
   std::uint64_t next_seq_ = 0;
   std::uint64_t events_processed_ = 0;
   std::size_t max_queue_depth_ = 0;
-  std::priority_queue<Event, std::vector<Event>, EventLater> queue_;
+  // 4-ary min-heap; logical root at heap_[kHeapPad] (see kHeapPad above).
+  std::vector<HeapEntry, CacheAlignedAlloc<HeapEntry>> heap_;
+  // Payload side-slabs; freed slots are recycled through the free lists so
+  // steady-state scheduling touches no allocator.
+  std::vector<std::coroutine_handle<>> handle_slab_;
+  std::vector<std::uint32_t> handle_free_;
+  std::vector<std::function<void()>> fn_slab_;
+  std::vector<std::uint32_t> fn_free_;
   std::deque<Root> roots_;  // deque: &done must stay stable
   std::vector<check::InvariantAuditor*> auditors_;
   std::uint64_t audit_interval_ = 0;  // ctor sets the level-dependent default

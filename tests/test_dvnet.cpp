@@ -52,6 +52,7 @@ TEST(Geometry, ValidateRejectsBadShapes) {
 
 TEST(CycleSwitch, SinglePacketReachesItsDestination) {
   dvnet::CycleSwitch sw(dvnet::Geometry{8, 4});
+  sw.record_deliveries(true);  // the per-delivery log is opt-in
   sw.inject(0, 17, /*tag=*/99);
   ASSERT_TRUE(sw.drain());
   ASSERT_EQ(sw.deliveries().size(), 1u);
@@ -65,6 +66,7 @@ TEST(CycleSwitch, SinglePacketReachesItsDestination) {
 
 TEST(CycleSwitch, SelfSendIsDelivered) {
   dvnet::CycleSwitch sw(dvnet::Geometry{4, 2});
+  sw.record_deliveries(true);
   sw.inject(3, 3);
   ASSERT_TRUE(sw.drain());
   ASSERT_EQ(sw.deliveries().size(), 1u);
@@ -91,6 +93,7 @@ TEST_P(CycleSwitchProperty, RandomTrafficLosslessAndRateLimited) {
   const auto shape = GetParam();
   dvnet::Geometry g{shape.heights, shape.angles};
   dvnet::CycleSwitch sw(g);
+  sw.record_deliveries(true);
   sim::Xoshiro256 rng(1234);
   const int kPackets = 40 * g.ports();
   std::map<std::uint64_t, int> expected;  // tag -> dst
@@ -125,7 +128,9 @@ TEST_P(CycleSwitchProperty, PermutationTrafficDrains) {
     }
   }
   ASSERT_TRUE(sw.drain(1'000'000));
-  EXPECT_EQ(sw.deliveries().size(), static_cast<std::size_t>(8 * n));
+  // Delivery log left off: the running totals alone prove losslessness.
+  EXPECT_EQ(sw.delivered_total(), static_cast<std::uint64_t>(8 * n));
+  EXPECT_TRUE(sw.deliveries().empty());
 }
 
 INSTANTIATE_TEST_SUITE_P(Shapes, CycleSwitchProperty,
@@ -145,7 +150,7 @@ TEST(CycleSwitch, HotspotTrafficStillDrainsWithDeflections) {
     for (int p = 0; p < g.ports(); ++p) sw.inject(p, 5);
   }
   ASSERT_TRUE(sw.drain(2'000'000));
-  EXPECT_EQ(sw.deliveries().size(), static_cast<std::size_t>(16 * g.ports()));
+  EXPECT_EQ(sw.delivered_total(), static_cast<std::uint64_t>(16 * g.ports()));
   EXPECT_GT(sw.deflection_stats().max(), 0.0);
 }
 
@@ -174,7 +179,7 @@ std::pair<double, double> run_uniform_load(double load, std::uint64_t cycles,
   dvnet::Geometry g{8, 4};
   dvnet::CycleSwitch sw(g);
   sim::Xoshiro256 rng(seed);
-  std::size_t offered = 0;
+  std::uint64_t offered = 0;
   for (std::uint64_t c = 0; c < cycles; ++c) {
     for (int p = 0; p < g.ports(); ++p) {
       if (rng.uniform() < load) {
@@ -185,8 +190,8 @@ std::pair<double, double> run_uniform_load(double load, std::uint64_t cycles,
     sw.step();
   }
   if (!sw.drain(8'000'000)) return {0.0, 0.0};
-  if (sw.deliveries().size() != offered) return {0.0, 0.0};  // loss = failure
-  const double thr = static_cast<double>(sw.deliveries().size()) /
+  if (sw.delivered_total() != offered) return {0.0, 0.0};  // loss = failure
+  const double thr = static_cast<double>(sw.delivered_total()) /
                      (static_cast<double>(sw.cycle()) * g.ports());
   return {thr, sw.latency_stats().mean()};
 }

@@ -1,0 +1,82 @@
+#!/usr/bin/env python3
+"""Compare a dvx_perf run against the committed BENCH_PERF.json baseline.
+
+Usage: check_perf_regression.py MEASURED_JSON [BASELINE_JSON] [--factor F]
+
+Both files must be dvx-perf/v1 documents. The check fails when any benchmark
+present in the baseline is missing from the measured run, or when its measured
+rate falls below baseline_rate / F. The default factor (2.5) is deliberately
+generous: CI machines are shared and noisy, and this gate exists to catch
+order-of-magnitude regressions (an accidental O(n) reintroduced on a hot
+path), not single-digit drift. Rates above the baseline are always fine.
+"""
+
+import argparse
+import json
+import sys
+
+DEFAULT_FACTOR = 2.5
+REQUIRED_BENCH_KEYS = ("name", "unit", "work", "seconds", "rate")
+
+
+def load_perf_doc(path):
+    with open(path, "r", encoding="utf-8") as f:
+        doc = json.load(f)
+    if doc.get("schema") != "dvx-perf/v1":
+        sys.exit(f"{path}: schema is {doc.get('schema')!r}, expected 'dvx-perf/v1'")
+    benches = doc.get("benchmarks")
+    if not isinstance(benches, list) or not benches:
+        sys.exit(f"{path}: 'benchmarks' must be a non-empty list")
+    for b in benches:
+        for key in REQUIRED_BENCH_KEYS:
+            if key not in b:
+                sys.exit(f"{path}: benchmark entry {b.get('name', '?')!r} lacks {key!r}")
+        if not isinstance(b["rate"], (int, float)) or b["rate"] <= 0:
+            sys.exit(f"{path}: benchmark {b['name']!r} has non-positive rate")
+    return doc
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("measured", help="dvx-perf/v1 JSON from the current run")
+    parser.add_argument("baseline", nargs="?", default="BENCH_PERF.json",
+                        help="committed baseline (default: BENCH_PERF.json)")
+    parser.add_argument("--factor", type=float, default=DEFAULT_FACTOR,
+                        help=f"fail when measured < baseline/FACTOR "
+                             f"(default {DEFAULT_FACTOR})")
+    args = parser.parse_args()
+    if args.factor < 1.0:
+        sys.exit("--factor must be >= 1.0")
+
+    measured = {b["name"]: b for b in load_perf_doc(args.measured)["benchmarks"]}
+    baseline = load_perf_doc(args.baseline)["benchmarks"]
+
+    failures = []
+    for base in baseline:
+        name = base["name"]
+        got = measured.get(name)
+        if got is None:
+            failures.append(f"{name}: present in baseline but not measured")
+            continue
+        if got["unit"] != base["unit"]:
+            failures.append(f"{name}: unit changed {base['unit']!r} -> {got['unit']!r}")
+            continue
+        floor = base["rate"] / args.factor
+        verdict = "ok" if got["rate"] >= floor else "FAIL"
+        print(f"{name}: measured {got['rate']:.0f} {got['unit']} "
+              f"(baseline {base['rate']:.0f}, floor {floor:.0f}) {verdict}")
+        if got["rate"] < floor:
+            failures.append(f"{name}: {got['rate']:.0f} < floor {floor:.0f} "
+                            f"(baseline {base['rate']:.0f} / {args.factor})")
+
+    if failures:
+        print("\nperf regression check FAILED:", file=sys.stderr)
+        for f in failures:
+            print(f"  {f}", file=sys.stderr)
+        return 1
+    print("perf regression check passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
