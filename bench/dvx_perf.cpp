@@ -8,6 +8,7 @@
 //     draining a deep uniform-random backlog on a 256-port fabric: deep port
 //     queues, saturated occupancy, then the sparse drain tail.
 //   * fabric_burst            — analytic FabricModel bursts/s.
+//   * fabric_torus            — 3D-torus timing model messages/s.
 //
 // These are wall-clock measurements of the *simulator* (the one place host
 // time is allowed); the measured work is fully deterministic (fixed seeds,
@@ -31,6 +32,7 @@
 #include "runtime/report.hpp"
 #include "sim/engine.hpp"
 #include "sim/rng.hpp"
+#include "torus/fabric.hpp"
 
 namespace {
 
@@ -127,6 +129,27 @@ BenchResult fabric_burst() {
   return {"fabric_burst", "bursts/s", work, s, work / s};
 }
 
+/// 3D-torus timing-model throughput: 2^19 4-KiB messages between seeded
+/// random node pairs on a 64-node (4x4x4) torus at a steady virtual
+/// injection cadence — the dimension-order path walk plus per-link
+/// serialization bookkeeping is the whole cost.
+BenchResult fabric_torus() {
+  constexpr std::uint64_t kMsgs = 1 << 19;
+
+  const auto t0 = Clock::now();
+  dvx::torus::Fabric fabric(64);
+  sim::Xoshiro256 rng(3);
+  sim::Time now = 0;
+  for (std::uint64_t i = 0; i < kMsgs; ++i) {
+    fabric.send_message(static_cast<int>(rng.below(64)),
+                        static_cast<int>(rng.below(64)), 4096, now);
+    now += sim::ns(100);
+  }
+  const double s = seconds_since(t0);
+  const double work = static_cast<double>(kMsgs);
+  return {"fabric_torus", "msgs/s", work, s, work / s};
+}
+
 using BenchFn = BenchResult (*)();
 struct BenchEntry {
   const char* name;
@@ -136,6 +159,7 @@ constexpr BenchEntry kBenches[] = {
     {"engine_event_storm", engine_event_storm},
     {"switch_drain_congested", switch_drain_congested},
     {"fabric_burst", fabric_burst},
+    {"fabric_torus", fabric_torus},
 };
 
 int usage(int code) {

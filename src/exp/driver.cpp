@@ -3,6 +3,7 @@
 #include <charconv>
 #include <cstdint>
 #include <exception>
+#include <stdexcept>
 #include <filesystem>
 #include <iostream>
 #include <sstream>
@@ -24,6 +25,10 @@ void print_usage(std::ostream& os) {
         "\n"
         "options:\n"
         "  --nodes 4,8,16,32    override the node sweep (figures with a sweep)\n"
+        "  --backends LIST      restrict figures to these comma-separated network\n"
+        "                       backends: dv, mpi-ib (alias mpi), mpi-torus.\n"
+        "                       Default: each figure's paper pairing (dv + mpi-ib;\n"
+        "                       the torus only runs when asked for)\n"
         "  --fast               shrink problem sizes (same as DVX_BENCH_FAST=1)\n"
         "  --seed N             root RNG seed; each measurement point derives its\n"
         "                       own SplitMix64 sub-seed from it (0 = workload defaults)\n"
@@ -169,6 +174,24 @@ bool parse_args(int argc, const char* const* argv, CliOptions& opt, std::ostream
           continue;
         }
         opt.run.nodes.push_back(nodes);
+      }
+    } else if (arg == "--backends") {
+      const char* v = need_value(i, arg);
+      if (!v) continue;
+      std::vector<std::string> fields;
+      std::string csv_err;
+      if (!split_csv(v, fields, csv_err)) {
+        err << "dvx_bench: bad --backends value '" << v << "' (" << csv_err << ")\n";
+        ok = false;
+        continue;
+      }
+      for (const auto& b : fields) {
+        try {
+          opt.run.backends.push_back(parse_backend(b));
+        } catch (const std::invalid_argument& e) {
+          err << "dvx_bench: bad --backends value: " << e.what() << "\n";
+          ok = false;
+        }
       }
     } else if (arg == "--seed") {
       const char* v = need_value(i, arg);

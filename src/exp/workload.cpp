@@ -27,9 +27,66 @@ std::uint64_t hash_string(std::string_view s) {
 
 }  // namespace
 
-const char* to_string(Backend b) { return b == Backend::kDv ? "dv" : "mpi"; }
+const char* to_string(Backend b) {
+  switch (b) {
+    case Backend::kDv:
+      return "dv";
+    case Backend::kMpiIb:
+      return "mpi";
+    case Backend::kMpiTorus:
+      return "mpi-torus";
+  }
+  return "?";  // unreachable; keeps -Wreturn-type quiet
+}
 
-bool Workload::has_backend(Backend) const { return true; }
+Backend parse_backend(std::string_view id) {
+  if (id == "dv") return Backend::kDv;
+  if (id == "mpi" || id == "mpi-ib") return Backend::kMpiIb;
+  if (id == "mpi-torus") return Backend::kMpiTorus;
+  throw std::invalid_argument("unknown backend '" + std::string(id) +
+                              "' (expected dv, mpi-ib/mpi, or mpi-torus)");
+}
+
+const std::vector<Backend>& all_backends() {
+  static const std::vector<Backend> kAll = {Backend::kDv, Backend::kMpiIb,
+                                            Backend::kMpiTorus};
+  return kAll;
+}
+
+const char* display_name(Backend b) {
+  switch (b) {
+    case Backend::kDv:
+      return "Data Vortex";
+    case Backend::kMpiIb:
+      return "Infiniband";
+    case Backend::kMpiTorus:
+      return "3D Torus";
+  }
+  return "?";  // unreachable; keeps -Wreturn-type quiet
+}
+
+std::vector<Backend> Workload::default_backends() const {
+  std::vector<Backend> out;
+  for (Backend b : {Backend::kDv, Backend::kMpiIb}) {
+    if (has_backend(b)) out.push_back(b);
+  }
+  return out;
+}
+
+std::vector<Backend> Workload::selected_backends(const RunOptions& opt) const {
+  if (opt.backends.empty()) return default_backends();
+  std::vector<Backend> out;
+  for (Backend b : all_backends()) {  // canonical order, deduplicated
+    if (!has_backend(b)) continue;
+    for (Backend want : opt.backends) {
+      if (want == b) {
+        out.push_back(b);
+        break;
+      }
+    }
+  }
+  return out;
+}
 
 std::vector<int> Workload::default_nodes(bool) const { return paper_node_counts(); }
 
@@ -126,6 +183,18 @@ void PlanBuilder::add(Backend backend, int nodes, const ParamMap& params,
   p.variant = std::move(variant);
   p.seed = figure_seed_ == 0 ? 0 : sim::derive_seed(figure_seed_, p.index);
   points_.push_back(std::move(p));
+}
+
+const PointResult* find_result(const std::vector<PointResult>& results,
+                               Backend backend, int nodes,
+                               std::string_view variant) {
+  for (const auto& r : results) {
+    if (r.point.backend == backend && r.point.nodes == nodes &&
+        r.point.variant == variant) {
+      return &r;
+    }
+  }
+  return nullptr;
 }
 
 PointResult execute_point(const Workload& workload, const RunPoint& point) {

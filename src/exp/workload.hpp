@@ -35,10 +35,28 @@
 
 namespace dvx::exp {
 
-enum class Backend { kDv, kMpi };
+/// Every network a figure can run over. kMpiIb is MPI over the InfiniBand
+/// fat-tree (the paper's baseline), kMpiTorus is MPI over the APEnet+-style
+/// 3D torus. Adding a backend here is a compile-visible event: to_string,
+/// parse_backend, all_backends, and every Workload::has_backend switch must
+/// be extended before the project builds again.
+enum class Backend { kDv, kMpiIb, kMpiTorus };
 
-/// "dv" or "mpi" — the strings used in JSON records.
+/// Canonical id used in JSON records, metric labels, and check context:
+/// "dv", "mpi", "mpi-torus". The fat-tree keeps the pre-seam id "mpi" so
+/// every existing record, golden file, and downstream consumer stays valid.
 const char* to_string(Backend b);
+
+/// Parses a backend id for the `--backends` CLI filter. Accepts the
+/// canonical ids plus "mpi-ib" as an explicit alias for the fat-tree.
+/// Throws std::invalid_argument on anything else.
+Backend parse_backend(std::string_view id);
+
+/// All backends in canonical plan order: dv, mpi (ib), mpi-torus.
+const std::vector<Backend>& all_backends();
+
+/// Human-readable table-column name: "Data Vortex", "Infiniband", "3D Torus".
+const char* display_name(Backend b);
 
 /// One named workload parameter with its defaults. Parameters are doubles
 /// (counts, sizes, log-sizes); the fast-mode default shrinks the problem so
@@ -75,6 +93,11 @@ struct RunOptions {
   /// Non-empty: record an execution trace per point and write one
   /// TRACE_<figure>_p<index>.json (Chrome trace format) into this dir.
   std::string trace_dir;
+  /// Non-empty: restrict every figure to these backends (the `--backends`
+  /// filter). Empty keeps each workload's default_backends() — the paper's
+  /// dv/mpi pairing — so default output is unchanged by backends the
+  /// workload could run but was not asked to.
+  std::vector<Backend> backends;
 };
 
 /// One planned measurement point of a figure.
@@ -109,8 +132,19 @@ class Workload {
   virtual std::vector<ParamSpec> param_specs() const = 0;
   virtual std::vector<MetricSpec> metric_specs() const = 0;
 
-  /// Whether the workload has an implementation on this network.
-  virtual bool has_backend(Backend b) const;
+  /// Whether the workload has an implementation on this network. Pure so
+  /// every workload states its support explicitly — a new Backend enumerator
+  /// cannot silently "run everywhere".
+  virtual bool has_backend(Backend b) const = 0;
+
+  /// The backends this figure plans when RunOptions::backends is empty:
+  /// the paper's dv/mpi pairing intersected with has_backend(). The torus
+  /// never joins a sweep unasked, which keeps default output stable.
+  std::vector<Backend> default_backends() const;
+
+  /// opt.backends (or default_backends() when empty) filtered to the
+  /// backends this workload implements, in canonical order.
+  std::vector<Backend> selected_backends(const RunOptions& opt) const;
 
   /// The node counts run() sweeps when RunOptions::nodes is empty.
   virtual std::vector<int> default_nodes(bool fast) const;
@@ -182,6 +216,14 @@ class PlanBuilder {
   std::uint64_t figure_seed_ = 0;  ///< 0 = no root seed given
   std::vector<RunPoint> points_;
 };
+
+/// The executed point matching (backend, nodes, variant), or nullptr when
+/// the plan did not contain it (e.g. a backend filtered out by --backends).
+/// Reports use this instead of positional indexing so a figure renders
+/// whatever subset of its series was actually planned.
+const PointResult* find_result(const std::vector<PointResult>& results,
+                               Backend backend, int nodes,
+                               std::string_view variant = {});
 
 /// Executes one point with exceptions captured into PointResult::error and
 /// log output captured into PointResult::log. Never throws.

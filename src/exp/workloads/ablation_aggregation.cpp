@@ -90,6 +90,10 @@ class AblationAggregationWorkload final : public Workload {
 
   std::vector<int> default_nodes(bool) const override { return {16}; }
 
+  // The ablation probes Data Vortex API choices; there is no network
+  // comparison in it, so it only has a dv series.
+  bool has_backend(Backend b) const override { return b == Backend::kDv; }
+
   MetricMap run_backend(Backend backend, int nodes,
                         const ParamMap& params) const override {
     if (backend != Backend::kDv) return {};  // the ablation probes DV choices
@@ -105,6 +109,7 @@ class AblationAggregationWorkload final : public Workload {
 
   std::vector<RunPoint> plan(const RunOptions& opt) const override {
     PlanBuilder builder(*this, opt);
+    if (selected_backends(opt).empty()) return builder.take();  // dv filtered out
     ParamMap params = default_params(opt.fast);
     const int nodes = opt.nodes.empty() ? default_nodes(opt.fast).front() : opt.nodes.front();
     for (int buf : {1024, 128, 16}) {
@@ -134,6 +139,10 @@ class AblationAggregationWorkload final : public Workload {
               runtime::ResultSink& sink) const override {
     std::ostream& os = opt.out ? *opt.out : std::cout;
     banner(os);
+    if (results.empty()) {  // e.g. --backends without dv
+      os << "\n(no points: this ablation only has a dv series)\n";
+      return;
+    }
     const int nodes = opt.nodes.empty() ? default_nodes(opt.fast).front() : opt.nodes.front();
 
     runtime::Table t1("GUPS-DV vs PCIe aggregation (" + std::to_string(nodes) +

@@ -1,17 +1,33 @@
-// Ablation — cycle-accurate switch vs analytic fabric model (DESIGN.md §5).
+// Ablation — cycle-accurate switch vs analytic fabric model (DESIGN.md §5),
+// plus a three-way routing-model signature probe.
 //
 // Applications run on the O(1)-per-burst FabricModel; this workload
 // validates that choice by comparing it against the cycle-accurate
 // deflection-routing simulator on the same offered traffic: uncontended
 // latency, latency under uniform load, and hotspot behaviour.
+//
+// When --backends explicitly selects networks, one "contention" point per
+// backend measures what separates the three routing models:
+//   * distance — farthest/nearest idle latency (torus pays per hop, the
+//     fat-tree is 2-vs-4 links, DV is position-insensitive);
+//   * crossing flows — slowdown of a victim message when a flow with
+//     different endpoints shares a mid-path link (fat-tree up links and
+//     torus ring links serialize; DV has no fixed path to share);
+//   * hotspot — the Data Vortex absorbs converging traffic as deflections
+//     (~2 extra hops, paper §II) instead of queueing delay.
 
+#include <algorithm>
 #include <iostream>
+#include <string>
 
 #include "dvnet/cycle_switch.hpp"
 #include "dvnet/fabric_model.hpp"
+#include "dvnet/traffic.hpp"
 #include "exp/workload.hpp"
+#include "ib/topology.hpp"
 #include "sim/rng.hpp"
 #include "sim/stats.hpp"
+#include "torus/fabric.hpp"
 
 namespace dvx::exp {
 namespace {
@@ -69,6 +85,142 @@ LoadPoint measure(double load, std::uint64_t cycles) {
   return out;
 }
 
+// ---- three-way routing-model signatures (variant "contention") ----------
+
+/// Bulk probe size: big enough that link serialization, not fixed
+/// overheads, dominates the with/without-interferer comparison.
+constexpr std::int64_t kProbeBytes = 64 * 1024;
+
+/// Latency probe size: a single word, so fixed per-hop costs — not link
+/// serialization — dominate the far-vs-near comparison.
+constexpr std::int64_t kLatencyProbeBytes = 8;
+
+struct Signatures {
+  double near_far = 1.0;     // farthest / nearest idle latency
+  double crossing = 1.0;     // victim slowdown from a crossing flow
+  double uniform_defl = 0.0; // DV only: deflections/pkt, uniform traffic
+  double hotspot_defl = 0.0; // DV only: deflections/pkt, hotspot traffic
+  double hotspot_extra_hops = 0.0;  // DV only: mean hops above base
+};
+
+double switch_single_packet_cycles(const dvnet::Geometry& g, int dst) {
+  dvnet::CycleSwitch sw(g);
+  sw.inject(0, dst);
+  sw.drain(100'000);
+  return sw.latency_stats().mean();
+}
+
+Signatures signatures_dv(int nodes, std::uint64_t cycles) {
+  const dvnet::Geometry g = dvnet::Geometry::for_ports(nodes, 4);
+  Signatures out;
+  out.near_far = switch_single_packet_cycles(g, g.ports() - 1) /
+                 switch_single_packet_cycles(g, 1);
+  // Crossing flows: the analytic model the applications run on serializes
+  // only on endpoint ports, so disjoint-endpoint flows never interact —
+  // the multipath/deflection assumption the cycle-accurate traffic
+  // measurements below justify statistically.
+  {
+    dvnet::FabricModel alone(dvnet::FabricParams{.geometry = g});
+    const sim::Time solo = alone.send_burst(0, 8, kProbeBytes / 8, 0).last_arrival;
+    dvnet::FabricModel shared(dvnet::FabricParams{.geometry = g});
+    shared.send_burst(1, 16, kProbeBytes / 8, 0);
+    out.crossing =
+        static_cast<double>(shared.send_burst(0, 8, kProbeBytes / 8, 0).last_arrival) /
+        static_cast<double>(solo);
+  }
+  // Hotspot: same calibrated stable-regime config as the traffic figure
+  // (hot-port offered rate ~0.77 of ejection capacity).
+  dvnet::TrafficConfig uni{.pattern = dvnet::TrafficPattern::kUniform,
+                           .offered_load = 0.08,
+                           .hotspot_fraction = 0.3};
+  dvnet::TrafficConfig hot = uni;
+  hot.pattern = dvnet::TrafficPattern::kHotspot;
+  const double base = dvnet::FabricParams{.geometry = g}.derived_base_hops();
+  {
+    dvnet::CycleSwitch sw(g);
+    out.uniform_defl = dvnet::run_synthetic(sw, uni, cycles, 29).deflections.mean();
+  }
+  {
+    dvnet::CycleSwitch sw(g);
+    const auto r = dvnet::run_synthetic(sw, hot, cycles, 29);
+    out.hotspot_defl = r.deflections.mean();
+    out.hotspot_extra_hops = r.hops.mean() - base;
+  }
+  return out;
+}
+
+/// Idle-fabric completion time of one message src -> dst.
+double idle_latency(net::Interconnect& f, int src, int dst, std::int64_t bytes) {
+  f.reset();
+  return static_cast<double>(f.send_message(src, dst, bytes, 0).last_arrival);
+}
+
+Signatures signatures_ib(int nodes) {
+  Signatures out;
+  ib::Fabric probe(nodes);
+  // Nearest / farthest by fat-tree path length (2 links same-leaf, 4 across).
+  int near = 1, far = 1;
+  for (int v = 1; v < nodes; ++v) {
+    if (probe.path_links(0, v) < probe.path_links(0, near)) near = v;
+    if (probe.path_links(0, v) > probe.path_links(0, far)) far = v;
+  }
+  out.near_far = idle_latency(probe, 0, far, kLatencyProbeBytes) /
+                 idle_latency(probe, 0, near, kLatencyProbeBytes);
+  // Crossing flows: victim 0 -> first cross-leaf node, interferer from the
+  // same leaf into a third leaf. Distinct endpoints, shared leaf-0 up link.
+  int leaf = nodes;
+  for (int v = 1; v < nodes; ++v) {
+    if (probe.path_links(0, v) > 2) {
+      leaf = v;
+      break;
+    }
+  }
+  if (leaf < nodes) {
+    const int other = 2 * leaf < nodes ? 2 * leaf : leaf;
+    const double solo = idle_latency(probe, 0, leaf, kProbeBytes);
+    probe.reset();
+    probe.send_message(1, other, kProbeBytes, 0);
+    out.crossing =
+        static_cast<double>(probe.send_message(0, leaf, kProbeBytes, 0).last_arrival) /
+        solo;
+  }
+  return out;
+}
+
+Signatures signatures_torus(int nodes) {
+  Signatures out;
+  torus::Fabric probe(nodes);
+  // Nearest / farthest by wraparound Manhattan distance.
+  int near = 1, far = 1;
+  for (int v = 1; v < nodes; ++v) {
+    if (probe.hops(0, v) < probe.hops(0, near)) near = v;
+    if (probe.hops(0, v) > probe.hops(0, far)) far = v;
+  }
+  out.near_far = idle_latency(probe, 0, far, kLatencyProbeBytes) /
+                 idle_latency(probe, 0, near, kLatencyProbeBytes);
+  // Crossing flows along the longest ring: victim rides 2 hops, the
+  // interferer (distinct endpoints) shares the middle link of its path.
+  const auto& dims = probe.dims();
+  int d = 0;
+  for (int i = 1; i < 3; ++i) {
+    if (dims[i] > dims[d]) d = i;
+  }
+  if (dims[d] >= 4) {
+    const auto at = [&](int i) {
+      std::array<int, 3> c = {0, 0, 0};
+      c[static_cast<std::size_t>(d)] = i;
+      return probe.node_at(c[0], c[1], c[2]);
+    };
+    const double solo = idle_latency(probe, at(0), at(2), kProbeBytes);
+    probe.reset();
+    probe.send_message(at(1), at(3), kProbeBytes, 0);
+    out.crossing = static_cast<double>(
+                       probe.send_message(at(0), at(2), kProbeBytes, 0).last_arrival) /
+                   solo;
+  }
+  return out;
+}
+
 class AblationFabricWorkload final : public Workload {
  public:
   std::string name() const override { return "ablation_fabric"; }
@@ -92,12 +244,26 @@ class AblationFabricWorkload final : public Workload {
         {"cycle_deflections", "", "mean deflections per packet"},
         {"analytic_latency", "cycles", "mean latency, analytic FabricModel"},
         {"latency_ratio", "", "analytic over cycle-accurate"},
+        {"near_far_ratio", "", "contention probe: farthest/nearest idle latency"},
+        {"crossing_interference", "",
+         "contention probe: victim slowdown from a crossing flow"},
+        {"uniform_deflections", "", "contention probe (DV): deflections/pkt, uniform"},
+        {"hotspot_deflections", "", "contention probe (DV): deflections/pkt, hotspot"},
+        {"hotspot_extra_hops", "", "contention probe (DV): hops above base, hotspot"},
     };
   }
 
-  // The ablation compares two DV fabric models on one switch; there is no
-  // MPI side and no node sweep.
-  bool has_backend(Backend b) const override { return b == Backend::kDv; }
+  // The model-validation sweep is DV-only; the "contention" signature probe
+  // (added when --backends explicitly selects networks) runs on all three.
+  bool has_backend(Backend b) const override {
+    switch (b) {
+      case Backend::kDv:
+      case Backend::kMpiIb:
+      case Backend::kMpiTorus:
+        return true;
+    }
+    return false;
+  }
   std::vector<int> default_nodes(bool) const override { return {32}; }
 
   MetricMap run_backend(Backend backend, int /*nodes*/,
@@ -114,11 +280,46 @@ class AblationFabricWorkload final : public Workload {
   std::vector<RunPoint> plan(const RunOptions& opt) const override {
     PlanBuilder builder(*this, opt);
     ParamMap params = default_params(opt.fast);
-    for (double load : {0.02, 0.05, 0.10, 0.15, 0.20}) {
-      params["offered_load"] = load;
-      builder.add(Backend::kDv, 32, params);
+    const auto backends = selected_backends(opt);
+    const bool want_dv =
+        std::find(backends.begin(), backends.end(), Backend::kDv) != backends.end();
+    if (want_dv) {
+      for (double load : {0.02, 0.05, 0.10, 0.15, 0.20}) {
+        params["offered_load"] = load;
+        builder.add(Backend::kDv, 32, params);
+      }
+    }
+    // The three-way signature probe only runs when the CLI asked for
+    // specific backends; the default figure stays the dv model validation.
+    if (!opt.backends.empty()) {
+      params = default_params(opt.fast);
+      for (const Backend b : backends) builder.add(b, 32, params, "contention");
     }
     return builder.take();
+  }
+
+  // The "contention" points measure fabric signatures outside run_backend's
+  // model-validation probe; dispatch on the variant the plan assigned.
+  MetricMap execute(const RunPoint& point, std::ostream& log) const override {
+    if (point.variant != "contention") return Workload::execute(point, log);
+    const auto cycles = static_cast<std::uint64_t>(point.params.at("cycles"));
+    Signatures s;
+    switch (point.backend) {
+      case Backend::kDv:
+        s = signatures_dv(point.nodes, cycles);
+        break;
+      case Backend::kMpiIb:
+        s = signatures_ib(point.nodes);
+        break;
+      case Backend::kMpiTorus:
+        s = signatures_torus(point.nodes);
+        break;
+    }
+    return {{"near_far_ratio", s.near_far},
+            {"crossing_interference", s.crossing},
+            {"uniform_deflections", s.uniform_defl},
+            {"hotspot_deflections", s.hotspot_defl},
+            {"hotspot_extra_hops", s.hotspot_extra_hops}};
   }
 
   void report(const RunOptions& opt, const std::vector<PointResult>& results,
@@ -131,7 +332,10 @@ class AblationFabricWorkload final : public Workload {
                      {"offered load", "cycle lat (cyc)", "defl/pkt", "analytic lat (cyc)",
                       "ratio"});
     bool all_within = true;
+    bool have_sweep = false;
     for (const PointResult& point : results) {
+      if (!point.point.variant.empty()) continue;
+      have_sweep = true;
       const double ratio = point.metrics.at("latency_ratio");
       t.row({runtime::fmt(point.point.params.at("offered_load")),
              runtime::fmt(point.metrics.at("cycle_latency"), 1),
@@ -140,18 +344,76 @@ class AblationFabricWorkload final : public Workload {
       if (ratio < 0.5 || ratio > 2.0) all_within = false;
       sink.add(make_record(point));
     }
-    t.print(os);
-    os << "\nreading: below saturation (~0.2 packets/port/fabric-cycle) the analytic\n"
-          "model tracks the cycle-accurate switch within tens of percent while being\n"
-          "orders of magnitude cheaper; in-fabric latency stays flat under load\n"
-          "(deflection smoothing), which is what the constant-plus-penalty analytic\n"
-          "form assumes. Applications never drive the per-port word rate past the\n"
-          "PCIe-limited injection rates, so they sit in the validated regime.\n";
+    if (have_sweep) {
+      t.print(os);
+      os << "\nreading: below saturation (~0.2 packets/port/fabric-cycle) the analytic\n"
+            "model tracks the cycle-accurate switch within tens of percent while being\n"
+            "orders of magnitude cheaper; in-fabric latency stays flat under load\n"
+            "(deflection smoothing), which is what the constant-plus-penalty analytic\n"
+            "form assumes. Applications never drive the per-port word rate past the\n"
+            "PCIe-limited injection rates, so they sit in the validated regime.\n";
 
-    sink.add_anchor(make_anchor("analytic_tracks_cycle_accurate", all_within ? 1.0 : 0.0,
-                                1.0, all_within,
-                                "analytic/cycle-accurate latency ratio within 2x at "
-                                "every sub-saturation load"));
+      sink.add_anchor(make_anchor("analytic_tracks_cycle_accurate",
+                                  all_within ? 1.0 : 0.0, 1.0, all_within,
+                                  "analytic/cycle-accurate latency ratio within 2x at "
+                                  "every sub-saturation load"));
+    }
+
+    report_contention(results, os, sink);
+  }
+
+ private:
+  void report_contention(const std::vector<PointResult>& results, std::ostream& os,
+                         runtime::ResultSink& sink) const {
+    std::vector<const PointResult*> cont;
+    for (const PointResult& p : results) {
+      if (p.point.variant == "contention") cont.push_back(&p);
+    }
+    if (cont.empty()) return;
+
+    runtime::Table t(
+        "three-way routing-model signatures (1-word latency / 64 KiB crossing probes)",
+                     {"fabric", "far/near latency", "crossing-flow slowdown",
+                      "hotspot defl/pkt"});
+    for (const PointResult* p : cont) {
+      const bool dv = p->point.backend == Backend::kDv;
+      t.row({display_name(p->point.backend), runtime::fmt(p->metrics.at("near_far_ratio")),
+             runtime::fmt(p->metrics.at("crossing_interference")),
+             dv ? runtime::fmt(p->metrics.at("uniform_deflections")) + " -> " +
+                      runtime::fmt(p->metrics.at("hotspot_deflections"))
+                : "-"});
+      sink.add(make_record(*p));
+      switch (p->point.backend) {
+        case Backend::kDv: {
+          const double uni = p->metrics.at("uniform_deflections");
+          const double hot = p->metrics.at("hotspot_deflections");
+          sink.add_anchor(make_anchor("dv_deflects_under_hotspot", hot, uni, hot > uni,
+                                      "converging traffic absorbed as deflections "
+                                      "(~2 extra hops), not queueing"));
+          break;
+        }
+        case Backend::kMpiIb:
+          sink.add_anchor(make_anchor("fat_tree_shared_uplink_serializes",
+                                      p->metrics.at("crossing_interference"), 2.0,
+                                      p->metrics.at("crossing_interference") > 1.5,
+                                      "flows with distinct endpoints serialize on a "
+                                      "shared up link"));
+          break;
+        case Backend::kMpiTorus:
+          sink.add_anchor(make_anchor("torus_latency_scales_with_distance",
+                                      p->metrics.at("near_far_ratio"), 1.7,
+                                      p->metrics.at("near_far_ratio") > 1.3,
+                                      "idle latency grows with wraparound Manhattan "
+                                      "distance"));
+          break;
+      }
+    }
+    t.print(os);
+    os << "\nreading: the torus pays per hop (distance scaling) and serializes on\n"
+          "dimension-order path links; the fat-tree is distance-flat but crossing\n"
+          "flows queue on shared up/down links; the Data Vortex is insensitive to\n"
+          "both — contention shows up as ~2 extra deflection hops under hotspot\n"
+          "traffic instead of queueing delay.\n";
   }
 };
 

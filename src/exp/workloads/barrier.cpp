@@ -5,6 +5,7 @@
 // in-house all-to-all "FastBarrier", and MPI over InfiniBand (grows
 // markedly with node count; ~13 us at 32 nodes in the paper).
 
+#include <algorithm>
 #include <iostream>
 
 #include "dvapi/context.hpp"
@@ -75,10 +76,23 @@ class BarrierWorkload final : public Workload {
     return {{"latency_us", "us", "mean barrier latency"}};
   }
 
+  bool has_backend(Backend b) const override {
+    switch (b) {
+      case Backend::kDv:
+      case Backend::kMpiIb:
+        return true;
+      case Backend::kMpiTorus:
+        // The figure contrasts the DV intrinsic against the paper's IB
+        // measurement; a torus barrier has no paper anchor to land on.
+        return false;
+    }
+    return false;
+  }
+
   MetricMap run_backend(Backend backend, int nodes,
                         const ParamMap& params) const override {
     const int reps = static_cast<int>(params.at("reps"));
-    if (backend == Backend::kMpi) return {{"latency_us", mpi_barrier_us(nodes, reps)}};
+    if (backend == Backend::kMpiIb) return {{"latency_us", mpi_barrier_us(nodes, reps)}};
     const bool fast_barrier = params.count("fast_barrier") && params.at("fast_barrier") != 0;
     return {{"latency_us", dv_barrier_us(nodes, fast_barrier, reps)}};
   }
@@ -87,13 +101,19 @@ class BarrierWorkload final : public Workload {
     PlanBuilder builder(*this, opt);
     ParamMap params = default_params(opt.fast);
     const auto nodes = opt.nodes.empty() ? default_nodes(opt.fast) : opt.nodes;
+    const auto backends = selected_backends(opt);
+    const auto has = [&](Backend b) {
+      return std::find(backends.begin(), backends.end(), b) != backends.end();
+    };
     for (const int n : nodes) {
-      params["fast_barrier"] = 0;
-      builder.add(Backend::kDv, n, params, "intrinsic");
-      params["fast_barrier"] = 1;
-      builder.add(Backend::kDv, n, params, "fast_barrier");
-      params["fast_barrier"] = 0;
-      builder.add(Backend::kMpi, n, params);
+      if (has(Backend::kDv)) {
+        params["fast_barrier"] = 0;
+        builder.add(Backend::kDv, n, params, "intrinsic");
+        params["fast_barrier"] = 1;
+        builder.add(Backend::kDv, n, params, "fast_barrier");
+        params["fast_barrier"] = 0;
+      }
+      if (has(Backend::kMpiIb)) builder.add(Backend::kMpiIb, n, params);
     }
     return builder.take();
   }
@@ -103,33 +123,45 @@ class BarrierWorkload final : public Workload {
     std::ostream& os = opt.out ? *opt.out : std::cout;
     banner(os);
     const auto nodes = opt.nodes.empty() ? default_nodes(opt.fast) : opt.nodes;
+    const auto backends = selected_backends(opt);
+    const auto has = [&](Backend b) {
+      return std::find(backends.begin(), backends.end(), b) != backends.end();
+    };
+    const bool want_dv = has(Backend::kDv);
+    const bool want_ib = has(Backend::kMpiIb);
 
-    runtime::Table t("Fig 4 — barrier latency (us) vs nodes",
-                     {"nodes", "Data Vortex", "FastBarrier", "Infiniband"});
+    std::vector<std::string> cols{"nodes"};
+    if (want_dv) cols.insert(cols.end(), {"Data Vortex", "FastBarrier"});
+    if (want_ib) cols.push_back("Infiniband");
+    runtime::Table t("Fig 4 — barrier latency (us) vs nodes", cols);
     double dv_first = 0, dv_last = 0, mpi_first = 0, mpi_last = 0;
     for (std::size_t i = 0; i < nodes.size(); ++i) {
       const int n = nodes[i];
-      const PointResult& dv = results[3 * i];       // intrinsic, fast, mpi triplets
-      const PointResult& fb = results[3 * i + 1];
-      const PointResult& mpi = results[3 * i + 2];
-      sink.add(make_record(dv));
-      sink.add(make_record(fb));
-      sink.add(make_record(mpi));
-      t.row({std::to_string(n), runtime::fmt(dv.metrics.at("latency_us")),
-             runtime::fmt(fb.metrics.at("latency_us")),
-             runtime::fmt(mpi.metrics.at("latency_us"))});
-      if (i == 0) {
-        dv_first = dv.metrics.at("latency_us");
-        mpi_first = mpi.metrics.at("latency_us");
+      std::vector<std::string> row{std::to_string(n)};
+      if (want_dv) {
+        const PointResult* dv = find_result(results, Backend::kDv, n, "intrinsic");
+        const PointResult* fb = find_result(results, Backend::kDv, n, "fast_barrier");
+        sink.add(make_record(*dv));
+        sink.add(make_record(*fb));
+        row.push_back(runtime::fmt(dv->metrics.at("latency_us")));
+        row.push_back(runtime::fmt(fb->metrics.at("latency_us")));
+        if (i == 0) dv_first = dv->metrics.at("latency_us");
+        dv_last = dv->metrics.at("latency_us");
       }
-      dv_last = dv.metrics.at("latency_us");
-      mpi_last = mpi.metrics.at("latency_us");
+      if (want_ib) {
+        const PointResult* mpi = find_result(results, Backend::kMpiIb, n);
+        sink.add(make_record(*mpi));
+        row.push_back(runtime::fmt(mpi->metrics.at("latency_us")));
+        if (i == 0) mpi_first = mpi->metrics.at("latency_us");
+        mpi_last = mpi->metrics.at("latency_us");
+      }
+      t.row(std::move(row));
     }
     t.print(os);
     os << "\npaper anchors: DV nearly constant with node count; MPI rises\n"
           "steeply past 8 nodes, reaching low-teens of microseconds at 32.\n";
 
-    if (nodes.size() >= 2 && dv_first > 0 && mpi_first > 0) {
+    if (want_dv && want_ib && nodes.size() >= 2 && dv_first > 0 && mpi_first > 0) {
       sink.add_anchor(make_anchor("dv_barrier_flat", dv_last / dv_first, 1.0,
                                   dv_last / dv_first < 1.5,
                                   "DV latency growth across the sweep stays small"));

@@ -6,6 +6,7 @@
 // DV consistently above IB, gap widening with nodes. (Paper runs 64
 // searches on the largest graph that fits; reproduction scales down.)
 
+#include <algorithm>
 #include <iostream>
 
 #include "apps/bfs.hpp"
@@ -44,9 +45,21 @@ class BfsWorkload final : public Workload {
     };
   }
 
+  bool has_backend(Backend b) const override {
+    switch (b) {
+      case Backend::kDv:
+      case Backend::kMpiIb:
+      case Backend::kMpiTorus:
+        return true;
+    }
+    return false;
+  }
+
   MetricMap run_backend(Backend backend, int nodes,
                         const ParamMap& params) const override {
-    runtime::Cluster cluster(runtime::ClusterConfig{.nodes = nodes});
+    runtime::ClusterConfig config{.nodes = nodes};
+    if (backend == Backend::kMpiTorus) config.mpi_fabric = runtime::MpiFabric::kTorus;
+    runtime::Cluster cluster(config);
     dvx::apps::BfsParams bp{
         .scale = static_cast<int>(params.at("scale")),
         .edge_factor = static_cast<int>(params.at("edge_factor")),
@@ -72,8 +85,9 @@ class BfsWorkload final : public Workload {
         params["seed"] = static_cast<double>(
             dvx::sim::derive_seed(opt.seed, static_cast<std::uint64_t>(i)) >> 32);
       }
-      builder.add(Backend::kDv, nodes[i], params);
-      builder.add(Backend::kMpi, nodes[i], params);
+      // Every backend at this sweep position shares the seed, so all of
+      // them search the same graph.
+      for (const Backend b : selected_backends(opt)) builder.add(b, nodes[i], params);
     }
     return builder.take();
   }
@@ -84,31 +98,43 @@ class BfsWorkload final : public Workload {
     banner(os);
     const auto nodes = opt.nodes.empty() ? default_nodes(opt.fast) : opt.nodes;
 
-    runtime::Table t("Fig 8 — harmonic-mean MTEPS vs nodes",
-                     {"nodes", "Data Vortex", "Infiniband", "DV/IB"});
+    const auto backends = selected_backends(opt);
+    const auto has = [&](Backend b) {
+      return std::find(backends.begin(), backends.end(), b) != backends.end();
+    };
+    const bool dv_ib = has(Backend::kDv) && has(Backend::kMpiIb);
+
+    std::vector<std::string> cols{"nodes"};
+    for (const Backend b : backends) cols.push_back(display_name(b));
+    if (dv_ib) cols.push_back("DV/IB");
+    runtime::Table t("Fig 8 — harmonic-mean MTEPS vs nodes", cols);
     double first_ratio = 0, last_ratio = 0;
     bool dv_always_ahead = true;
     for (std::size_t i = 0; i < nodes.size(); ++i) {
       const int n = nodes[i];
-      const PointResult& dv = results[2 * i];       // dv/mpi pairs per node count
-      const PointResult& ib = results[2 * i + 1];
-      const double ratio =
-          dv.metrics.at("harmonic_mean_teps") / ib.metrics.at("harmonic_mean_teps");
-      t.row({std::to_string(n), runtime::fmt(dv.metrics.at("harmonic_mean_teps") / 1e6),
-             runtime::fmt(ib.metrics.at("harmonic_mean_teps") / 1e6),
-             runtime::fmt(ratio)});
-      sink.add(make_record(dv));
-      sink.add(make_record(ib));
-      sink.add(make_derived_record(n, {{"dv_ib_ratio", ratio}}));
-      if (ratio <= 1.0) dv_always_ahead = false;
-      if (i == 0) first_ratio = ratio;
-      last_ratio = ratio;
+      std::vector<std::string> row{std::to_string(n)};
+      for (const Backend b : backends) {
+        const PointResult* r = find_result(results, b, n);
+        row.push_back(runtime::fmt(r->metrics.at("harmonic_mean_teps") / 1e6));
+        sink.add(make_record(*r));
+      }
+      if (dv_ib) {
+        const double ratio =
+            find_result(results, Backend::kDv, n)->metrics.at("harmonic_mean_teps") /
+            find_result(results, Backend::kMpiIb, n)->metrics.at("harmonic_mean_teps");
+        row.push_back(runtime::fmt(ratio));
+        sink.add(make_derived_record(n, {{"dv_ib_ratio", ratio}}));
+        if (ratio <= 1.0) dv_always_ahead = false;
+        if (i == 0) first_ratio = ratio;
+        last_ratio = ratio;
+      }
+      t.row(row);
     }
     t.print(os);
     os << "\npaper anchors: DV TEPS above IB at every node count, and the\n"
           "DV/IB ratio grows as nodes are added.\n";
 
-    if (nodes.size() >= 2) {
+    if (dv_ib && nodes.size() >= 2) {
       sink.add_anchor(make_anchor("dv_above_ib_everywhere", dv_always_ahead ? 1.0 : 0.0,
                                   1.0, dv_always_ahead,
                                   "DV harmonic-mean TEPS above IB at every node count"));

@@ -6,6 +6,7 @@
 // alltoalls, and unpacks. Paper: DV above IB with a gap that widens with
 // node count. (Paper size 2^33 points; reproduction default 2^20.)
 
+#include <algorithm>
 #include <iostream>
 
 #include "apps/fft1d.hpp"
@@ -37,9 +38,21 @@ class Fft1dWorkload final : public Workload {
     };
   }
 
+  bool has_backend(Backend b) const override {
+    switch (b) {
+      case Backend::kDv:
+      case Backend::kMpiIb:
+      case Backend::kMpiTorus:
+        return true;
+    }
+    return false;
+  }
+
   MetricMap run_backend(Backend backend, int nodes,
                         const ParamMap& params) const override {
-    runtime::Cluster cluster(runtime::ClusterConfig{.nodes = nodes});
+    runtime::ClusterConfig config{.nodes = nodes};
+    if (backend == Backend::kMpiTorus) config.mpi_fabric = runtime::MpiFabric::kTorus;
+    runtime::Cluster cluster(config);
     dvx::apps::FftParams fp{.log_size = static_cast<int>(params.at("log_size"))};
     const auto r = backend == Backend::kDv ? dvx::apps::run_fft_dv(cluster, fp)
                                            : dvx::apps::run_fft_mpi(cluster, fp);
@@ -50,9 +63,9 @@ class Fft1dWorkload final : public Workload {
     PlanBuilder builder(*this, opt);
     const ParamMap params = default_params(opt.fast);
     const auto nodes = opt.nodes.empty() ? default_nodes(opt.fast) : opt.nodes;
+    const auto backends = selected_backends(opt);
     for (const int n : nodes) {
-      builder.add(Backend::kDv, n, params);
-      builder.add(Backend::kMpi, n, params);
+      for (const Backend b : backends) builder.add(b, n, params);
     }
     return builder.take();
   }
@@ -62,28 +75,40 @@ class Fft1dWorkload final : public Workload {
     std::ostream& os = opt.out ? *opt.out : std::cout;
     banner(os);
     const auto nodes = opt.nodes.empty() ? default_nodes(opt.fast) : opt.nodes;
+    const auto backends = selected_backends(opt);
+    const auto has = [&](Backend b) {
+      return std::find(backends.begin(), backends.end(), b) != backends.end();
+    };
+    const bool dv_ib = has(Backend::kDv) && has(Backend::kMpiIb);
 
-    runtime::Table t("Fig 7 — aggregate GFLOPS vs nodes",
-                     {"nodes", "Data Vortex", "Infiniband", "DV/IB"});
+    std::vector<std::string> cols{"nodes"};
+    for (const Backend b : backends) cols.push_back(display_name(b));
+    if (dv_ib) cols.push_back("DV/IB");
+    runtime::Table t("Fig 7 — aggregate GFLOPS vs nodes", cols);
     double first_ratio = 0, last_ratio = 0;
     for (std::size_t i = 0; i < nodes.size(); ++i) {
       const int n = nodes[i];
-      const PointResult& dv = results[2 * i];       // dv/mpi pairs per node count
-      const PointResult& ib = results[2 * i + 1];
-      const double ratio = dv.metrics.at("gflops") / ib.metrics.at("gflops");
-      t.row({std::to_string(n), runtime::fmt(dv.metrics.at("gflops")),
-             runtime::fmt(ib.metrics.at("gflops")), runtime::fmt(ratio)});
-      sink.add(make_record(dv));
-      sink.add(make_record(ib));
-      sink.add(make_derived_record(n, {{"dv_ib_ratio", ratio}}));
-      if (i == 0) first_ratio = ratio;
-      last_ratio = ratio;
+      std::vector<std::string> row{std::to_string(n)};
+      for (const Backend b : backends) {
+        const PointResult* r = find_result(results, b, n);
+        row.push_back(runtime::fmt(r->metrics.at("gflops")));
+        sink.add(make_record(*r));
+      }
+      if (dv_ib) {
+        const double ratio = find_result(results, Backend::kDv, n)->metrics.at("gflops") /
+                             find_result(results, Backend::kMpiIb, n)->metrics.at("gflops");
+        row.push_back(runtime::fmt(ratio));
+        sink.add(make_derived_record(n, {{"dv_ib_ratio", ratio}}));
+        if (i == 0) first_ratio = ratio;
+        last_ratio = ratio;
+      }
+      t.row(row);
     }
     t.print(os);
     os << "\npaper anchors: both curves rise with node count; DV consistently\n"
           "above IB and the DV/IB ratio grows with nodes.\n";
 
-    if (nodes.size() >= 2) {
+    if (dv_ib && nodes.size() >= 2) {
       // This reproduction observes a crossover at ~16 nodes (EXPERIMENTS.md);
       // the paper-regime anchor is the widening gap and a DV lead at 32.
       sink.add_anchor(make_anchor("dv_ib_gap_widens", last_ratio, first_ratio,

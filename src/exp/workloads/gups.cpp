@@ -5,6 +5,7 @@
 // while the Data Vortex implementation stays roughly flat.
 // (b) aggregate MUPS: DV far above IB, with the gap widening with nodes.
 
+#include <algorithm>
 #include <iostream>
 
 #include "apps/gups.hpp"
@@ -44,9 +45,21 @@ class GupsWorkload final : public Workload {
 
   std::vector<int> default_nodes(bool) const override { return paper_node_counts(4); }
 
+  bool has_backend(Backend b) const override {
+    switch (b) {
+      case Backend::kDv:
+      case Backend::kMpiIb:
+      case Backend::kMpiTorus:
+        return true;
+    }
+    return false;
+  }
+
   MetricMap run_backend(Backend backend, int nodes,
                         const ParamMap& params) const override {
-    runtime::Cluster cluster(runtime::ClusterConfig{.nodes = nodes});
+    runtime::ClusterConfig config{.nodes = nodes};
+    if (backend == Backend::kMpiTorus) config.mpi_fabric = runtime::MpiFabric::kTorus;
+    runtime::Cluster cluster(config);
     dvx::apps::GupsParams gp{
         .local_table_words = static_cast<std::uint64_t>(params.at("local_table_words")),
         .updates_per_node = static_cast<std::uint64_t>(params.at("updates_per_node")),
@@ -63,9 +76,9 @@ class GupsWorkload final : public Workload {
     PlanBuilder builder(*this, opt);
     const ParamMap params = default_params(opt.fast);
     const auto nodes = opt.nodes.empty() ? default_nodes(opt.fast) : opt.nodes;
+    const auto backends = selected_backends(opt);
     for (const int n : nodes) {
-      builder.add(Backend::kDv, n, params);
-      builder.add(Backend::kMpi, n, params);
+      for (const Backend b : backends) builder.add(b, n, params);
     }
     return builder.take();
   }
@@ -75,26 +88,42 @@ class GupsWorkload final : public Workload {
     std::ostream& os = opt.out ? *opt.out : std::cout;
     banner(os);
     const auto nodes = opt.nodes.empty() ? default_nodes(opt.fast) : opt.nodes;
+    const auto backends = selected_backends(opt);
+    const auto has = [&](Backend b) {
+      return std::find(backends.begin(), backends.end(), b) != backends.end();
+    };
+    const bool dv_ib = has(Backend::kDv) && has(Backend::kMpiIb);
 
-    runtime::Table per_pe("Fig 6a — updates per second per PE (MUPS)",
-                          {"nodes", "Data Vortex", "Infiniband"});
-    runtime::Table agg("Fig 6b — aggregated updates per second (MUPS)",
-                       {"nodes", "Data Vortex", "Infiniband", "DV/IB"});
+    std::vector<std::string> pe_cols{"nodes"};
+    std::vector<std::string> agg_cols{"nodes"};
+    for (const Backend b : backends) {
+      pe_cols.push_back(display_name(b));
+      agg_cols.push_back(display_name(b));
+    }
+    if (dv_ib) agg_cols.push_back("DV/IB");
+    runtime::Table per_pe("Fig 6a — updates per second per PE (MUPS)", pe_cols);
+    runtime::Table agg("Fig 6b — aggregated updates per second (MUPS)", agg_cols);
     double first_ratio = 0, last_ratio = 0;
     for (std::size_t i = 0; i < nodes.size(); ++i) {
       const int n = nodes[i];
-      const PointResult& dv = results[2 * i];       // dv/mpi pairs per node count
-      const PointResult& ib = results[2 * i + 1];
-      const double ratio = dv.metrics.at("gups") / ib.metrics.at("gups");
-      per_pe.row({std::to_string(n), runtime::fmt(dv.metrics.at("mups_per_pe")),
-                  runtime::fmt(ib.metrics.at("mups_per_pe"))});
-      agg.row({std::to_string(n), runtime::fmt(dv.metrics.at("gups") * 1e3),
-               runtime::fmt(ib.metrics.at("gups") * 1e3), runtime::fmt(ratio)});
-      sink.add(make_record(dv));
-      sink.add(make_record(ib));
-      sink.add(make_derived_record(n, {{"dv_ib_ratio", ratio}}));
-      if (i == 0) first_ratio = ratio;
-      last_ratio = ratio;
+      std::vector<std::string> pe_row{std::to_string(n)};
+      std::vector<std::string> agg_row{std::to_string(n)};
+      for (const Backend b : backends) {
+        const PointResult* r = find_result(results, b, n);
+        pe_row.push_back(runtime::fmt(r->metrics.at("mups_per_pe")));
+        agg_row.push_back(runtime::fmt(r->metrics.at("gups") * 1e3));
+        sink.add(make_record(*r));
+      }
+      if (dv_ib) {
+        const double ratio = find_result(results, Backend::kDv, n)->metrics.at("gups") /
+                             find_result(results, Backend::kMpiIb, n)->metrics.at("gups");
+        agg_row.push_back(runtime::fmt(ratio));
+        sink.add(make_derived_record(n, {{"dv_ib_ratio", ratio}}));
+        if (i == 0) first_ratio = ratio;
+        last_ratio = ratio;
+      }
+      per_pe.row(pe_row);
+      agg.row(agg_row);
     }
     per_pe.print(os);
     agg.print(os);
@@ -102,7 +131,7 @@ class GupsWorkload final : public Workload {
           "DV stays ~constant (small dip 4 -> 8); the aggregate gap grows\n"
           "with node count.\n";
 
-    if (nodes.size() >= 2) {
+    if (dv_ib && nodes.size() >= 2) {
       sink.add_anchor(make_anchor("dv_ib_gap_widens", last_ratio, first_ratio,
                                   last_ratio > first_ratio,
                                   "aggregate DV/IB ratio grows with node count"));

@@ -7,6 +7,7 @@
 // words; IB reaches only ~72%; direct writes plateau at the 0.5 GB/s PCIe
 // lane limit; IB leads in the 32-128-word range and beyond 512 words.
 
+#include <algorithm>
 #include <iostream>
 #include <vector>
 
@@ -137,13 +138,26 @@ class PingpongWorkload final : public Workload {
 
   std::vector<int> default_nodes(bool) const override { return {2}; }
 
+  bool has_backend(Backend b) const override {
+    switch (b) {
+      case Backend::kDv:
+      case Backend::kMpiIb:
+        return true;
+      case Backend::kMpiTorus:
+        // The peak-fraction panel is defined against the two nominal peaks
+        // the paper states; the torus has no paper peak to normalize by.
+        return false;
+    }
+    return false;
+  }
+
   MetricMap run_backend(Backend backend, int /*nodes*/,
                         const ParamMap& params) const override {
     const auto words = static_cast<std::int64_t>(params.at("words"));
     const int reps = static_cast<int>(params.at("reps"));
     double bw = 0.0;
     double peak = runtime::paper::kDvPeakBw;
-    if (backend == Backend::kMpi) {
+    if (backend == Backend::kMpiIb) {
       bw = pingpong_bw_mpi(words, reps);
       peak = runtime::paper::kIbPeakBw;
     } else {
@@ -157,13 +171,19 @@ class PingpongWorkload final : public Workload {
     PlanBuilder builder(*this, opt);
     ParamMap params = default_params(opt.fast);
     const int max_log = static_cast<int>(params.at("max_log_words"));
+    const auto backends = selected_backends(opt);
+    const auto has = [&](Backend b) {
+      return std::find(backends.begin(), backends.end(), b) != backends.end();
+    };
     for (int lg = 0; lg <= max_log; lg += 2) {
       params["words"] = static_cast<double>(1LL << lg);
-      for (int p = 0; p < 3; ++p) {
-        params["path"] = p;
-        builder.add(Backend::kDv, 2, params, kPathNames[p]);
+      if (has(Backend::kDv)) {
+        for (int p = 0; p < 3; ++p) {
+          params["path"] = p;
+          builder.add(Backend::kDv, 2, params, kPathNames[p]);
+        }
       }
-      builder.add(Backend::kMpi, 2, params);
+      if (has(Backend::kMpiIb)) builder.add(Backend::kMpiIb, 2, params);
     }
     return builder.take();
   }
@@ -173,25 +193,36 @@ class PingpongWorkload final : public Workload {
     std::ostream& os = opt.out ? *opt.out : std::cout;
     banner(os);
     const int max_log = static_cast<int>(default_params(opt.fast).at("max_log_words"));
+    const auto backends = selected_backends(opt);
+    const auto has = [&](Backend b) {
+      return std::find(backends.begin(), backends.end(), b) != backends.end();
+    };
+    const bool dv = has(Backend::kDv);
+    const bool ib = has(Backend::kMpiIb);
 
-    runtime::Table abs("Fig 3a — absolute ping-pong bandwidth (GB/s)",
-                       {"words", "DWr/NoCached", "DWr/Cached", "DMA/Cached", "MPI"});
-    runtime::Table rel("Fig 3b — percentage of nominal peak bandwidth",
-                       {"words", "DWr/NoCached", "DWr/Cached", "DMA/Cached", "MPI"});
+    std::vector<std::string> cols{"words"};
+    if (dv) cols.insert(cols.end(), {"DWr/NoCached", "DWr/Cached", "DMA/Cached"});
+    if (ib) cols.push_back("MPI");
+    runtime::Table abs("Fig 3a — absolute ping-pong bandwidth (GB/s)", cols);
+    runtime::Table rel("Fig 3b — percentage of nominal peak bandwidth", cols);
     double last_bw[4] = {0, 0, 0, 0};       // per series, at the largest size
     double last_frac[4] = {0, 0, 0, 0};
-    std::size_t r = 0;  // four series per message size, in plan order
+    std::size_t r = 0;  // mirrors plan order: DV path series, then MPI
     for (int lg = 0; lg <= max_log; lg += 2) {
       std::vector<std::string> abs_row{std::to_string(1LL << lg)};
       std::vector<std::string> rel_row{std::to_string(1LL << lg)};
-      for (int series = 0; series < 4; ++series, ++r) {
-        const PointResult& point = results[r];
+      auto take = [&](int series) {
+        const PointResult& point = results[r++];
         last_bw[series] = point.metrics.at("bytes_per_sec");
         last_frac[series] = point.metrics.at("fraction_of_peak");
         abs_row.push_back(runtime::fmt(last_bw[series] / 1e9, 3));
         rel_row.push_back(runtime::fmt(100 * last_frac[series], 1));
         sink.add(make_record(point));
+      };
+      if (dv) {
+        for (int series = 0; series < 3; ++series) take(series);
       }
+      if (ib) take(3);
       abs.row(std::move(abs_row));
       rel.row(std::move(rel_row));
     }
@@ -202,22 +233,28 @@ class PingpongWorkload final : public Workload {
 
     // Anchors at the largest message measured. The peak-fraction claims are
     // only meaningful at the paper's 256 Ki-word point, i.e. not in fast mode.
-    sink.add_anchor(make_anchor(
-        "dv_dma_beats_pio_paths", last_bw[2], last_bw[1], last_bw[2] > last_bw[1],
-        "DMA/Cached above DWr/Cached at the largest message"));
-    sink.add_anchor(make_anchor(
-        "direct_write_pcie_cap", last_bw[0], runtime::paper::kPcieDirectWriteBw,
-        last_bw[0] <= 1.2 * runtime::paper::kPcieDirectWriteBw,
-        "DWr/NoCached capped by the 0.5 GB/s PCIe lane"));
+    if (dv) {
+      sink.add_anchor(make_anchor(
+          "dv_dma_beats_pio_paths", last_bw[2], last_bw[1], last_bw[2] > last_bw[1],
+          "DMA/Cached above DWr/Cached at the largest message"));
+      sink.add_anchor(make_anchor(
+          "direct_write_pcie_cap", last_bw[0], runtime::paper::kPcieDirectWriteBw,
+          last_bw[0] <= 1.2 * runtime::paper::kPcieDirectWriteBw,
+          "DWr/NoCached capped by the 0.5 GB/s PCIe lane"));
+    }
     if (max_log >= 18) {
-      sink.add_anchor(make_anchor("dv_dma_fraction_of_peak", last_frac[2],
-                                  runtime::paper::kDvPeakFraction256k,
-                                  last_frac[2] > 0.95,
-                                  "paper: 99.4% of DV peak at 256 Ki words"));
-      sink.add_anchor(make_anchor("ib_fraction_of_peak", last_frac[3],
-                                  runtime::paper::kIbPeakFraction256k,
-                                  last_frac[3] < 0.85,
-                                  "paper: IB only ~72% of its peak"));
+      if (dv) {
+        sink.add_anchor(make_anchor("dv_dma_fraction_of_peak", last_frac[2],
+                                    runtime::paper::kDvPeakFraction256k,
+                                    last_frac[2] > 0.95,
+                                    "paper: 99.4% of DV peak at 256 Ki words"));
+      }
+      if (ib) {
+        sink.add_anchor(make_anchor("ib_fraction_of_peak", last_frac[3],
+                                    runtime::paper::kIbPeakFraction256k,
+                                    last_frac[3] < 0.85,
+                                    "paper: IB only ~72% of its peak"));
+      }
     }
   }
 };

@@ -1,12 +1,14 @@
 // Synthetic-traffic congestion study (DESIGN.md §8).
 //
 // Drives the four classic traffic patterns — uniform-random, hotspot,
-// transpose-permutation, bit-reversal — through both networks: the
+// transpose-permutation, bit-reversal — through the networks: the
 // cycle-accurate Data Vortex switch (measuring hops and deflections
-// directly) and the InfiniBand fat-tree model (measuring message latency
-// inflation). The headline anchor quantifies the paper's §II claim that
-// deflection under contention costs "statistically two hops": the hotspot
-// point's measured mean extra hops must straddle
+// directly), the InfiniBand fat-tree model, and — when selected via
+// --backends — the 3D-torus model (both measuring message latency
+// inflation; the torus baseline is distance-aware, so its contention ratio
+// isolates queueing from path length). The headline anchor quantifies the
+// paper's §II claim that deflection under contention costs "statistically
+// two hops": the hotspot point's measured mean extra hops must straddle
 // FabricParams::contended_extra_hops = 2.0.
 
 #include <iostream>
@@ -18,6 +20,7 @@
 #include "sim/rng.hpp"
 #include "sim/stats.hpp"
 #include "sim/time.hpp"
+#include "torus/fabric.hpp"
 
 namespace dvx::exp {
 namespace {
@@ -36,6 +39,20 @@ constexpr dvnet::TrafficPattern kPatterns[] = {
     dvnet::TrafficPattern::kTranspose,
     dvnet::TrafficPattern::kBitReverse,
 };
+
+/// Short network tag for the results table ("mpi"/"mpi-torus" record ids
+/// stay the canonical to_string form).
+const char* net_label(Backend b) {
+  switch (b) {
+    case Backend::kDv:
+      return "dv";
+    case Backend::kMpiIb:
+      return "ib";
+    case Backend::kMpiTorus:
+      return "torus";
+  }
+  return "?";
+}
 
 dvnet::TrafficConfig config_from(const ParamMap& params) {
   dvnet::TrafficConfig cfg;
@@ -81,23 +98,40 @@ class TrafficWorkload final : public Workload {
 
   std::vector<int> default_nodes(bool) const override { return {32}; }
 
+  bool has_backend(Backend b) const override {
+    switch (b) {
+      case Backend::kDv:
+      case Backend::kMpiIb:
+      case Backend::kMpiTorus:
+        return true;
+    }
+    return false;
+  }
+
   MetricMap run_backend(Backend backend, int nodes,
                         const ParamMap& params) const override {
     const auto cycles = static_cast<std::uint64_t>(params.at("cycles"));
     const dvnet::TrafficConfig cfg = config_from(params);
-    return backend == Backend::kDv ? run_dv(nodes, cfg, cycles)
-                                   : run_mpi(nodes, cfg, cycles);
+    switch (backend) {
+      case Backend::kDv:
+        return run_dv(nodes, cfg, cycles);
+      case Backend::kMpiIb:
+        return run_mpi(nodes, cfg, cycles);
+      case Backend::kMpiTorus:
+        return run_torus(nodes, cfg, cycles);
+    }
+    return {};
   }
 
   std::vector<RunPoint> plan(const RunOptions& opt) const override {
     PlanBuilder builder(*this, opt);
     const int nodes = opt.nodes.empty() ? 32 : opt.nodes.front();
     ParamMap params = default_params(opt.fast);
+    const auto backends = selected_backends(opt);
     for (std::size_t i = 0; i < std::size(kPatterns); ++i) {
       params["pattern"] = static_cast<double>(i);
       const char* variant = dvnet::to_string(kPatterns[i]);
-      builder.add(Backend::kDv, nodes, params, variant);
-      builder.add(Backend::kMpi, nodes, params, variant);
+      for (const Backend b : backends) builder.add(b, nodes, params, variant);
     }
     return builder.take();
   }
@@ -111,15 +145,18 @@ class TrafficWorkload final : public Workload {
                      {"pattern", "net", "delivered", "hops", "extra", "defl/pkt",
                       "latency (ns)", "vs uncontended"});
     double hotspot_extra = 0.0;
+    bool saw_dv = false;
     for (const PointResult& point : results) {
       const bool dv = point.point.backend == Backend::kDv;
-      t.row({point.point.variant, dv ? "dv" : "ib",
+      const bool torus = point.point.backend == Backend::kMpiTorus;
+      t.row({point.point.variant, net_label(point.point.backend),
              runtime::fmt(point.metrics.at("delivered"), 0),
-             dv ? runtime::fmt(point.metrics.at("mean_hops")) : "-",
+             dv || torus ? runtime::fmt(point.metrics.at("mean_hops")) : "-",
              dv ? runtime::fmt(point.metrics.at("extra_hops")) : "-",
              dv ? runtime::fmt(point.metrics.at("deflections")) : "-",
              runtime::fmt(point.metrics.at("mean_latency_ns"), 1),
              runtime::fmt(point.metrics.at("contention_ratio"))});
+      if (dv) saw_dv = true;
       if (dv && point.point.variant == "hotspot") {
         hotspot_extra = point.metrics.at("extra_hops");
       }
@@ -132,11 +169,13 @@ class TrafficWorkload final : public Workload {
           "hops the paper quotes — instead of the queueing delay the fat-tree\n"
           "accumulates on its shared links.\n";
 
-    const bool pass = hotspot_extra >= 1.5 && hotspot_extra <= 2.5;
-    sink.add_anchor(make_anchor(
-        "hotspot_extra_hops_straddles_penalty", hotspot_extra, 2.0, pass,
-        "mean extra hops under hotspot contention within [1.5, 2.5] of the "
-        "analytic contended_extra_hops = 2"));
+    if (saw_dv) {
+      const bool pass = hotspot_extra >= 1.5 && hotspot_extra <= 2.5;
+      sink.add_anchor(make_anchor(
+          "hotspot_extra_hops_straddles_penalty", hotspot_extra, 2.0, pass,
+          "mean extra hops under hotspot contention within [1.5, 2.5] of the "
+          "analytic contended_extra_hops = 2"));
+    }
   }
 
  private:
@@ -190,6 +229,43 @@ class TrafficWorkload final : public Workload {
             {"deflections", 0.0},
             {"mean_latency_ns", latency.mean() / 1e3},
             {"contention_ratio", latency.mean() / base_ps}};
+  }
+
+  MetricMap run_torus(int nodes, const dvnet::TrafficConfig& cfg,
+                      std::uint64_t rounds) const {
+    // Same round structure as the fat-tree side, over the 3D torus. Torus
+    // latency depends on the wraparound Manhattan distance, so the
+    // uncontended baseline is measured per message on an idle twin fabric —
+    // the contention ratio then isolates link queueing from path length.
+    torus::Fabric fabric(nodes);
+    torus::Fabric idle(nodes);
+    sim::Xoshiro256 rng(kTrafficSeed);
+    sim::RunningStats latency;
+    sim::RunningStats base;
+    sim::RunningStats hops;
+    std::uint64_t sent = 0;
+    const sim::Duration gap =
+        static_cast<sim::Duration>(1e12 / torus::TorusParams{}.msg_rate);
+    sim::Time now = 0;
+    for (std::uint64_t c = 0; c < rounds; ++c) {
+      for (int n = 0; n < nodes; ++n) {
+        if (!rng.chance(cfg.offered_load)) continue;
+        const int dst = dvnet::traffic_destination(cfg, n, nodes, rng);
+        const auto t = fabric.send_message(n, dst, 8, now);
+        latency.add(static_cast<double>(t.first_arrival - now));
+        idle.reset();
+        base.add(static_cast<double>(idle.send_message(n, dst, 8, 0).first_arrival));
+        hops.add(static_cast<double>(fabric.hops(n, dst)));
+        ++sent;
+      }
+      now += gap;
+    }
+    return {{"delivered", static_cast<double>(sent)},
+            {"mean_hops", hops.mean()},
+            {"extra_hops", 0.0},
+            {"deflections", 0.0},
+            {"mean_latency_ns", latency.mean() / 1e3},
+            {"contention_ratio", latency.mean() / base.mean()}};
   }
 };
 

@@ -28,6 +28,14 @@ void Fabric::reset() {
   bytes_sent_ = 0;
 }
 
+int Fabric::path_links(int src, int dst) const {
+  if (src < 0 || src >= nodes_ || dst < 0 || dst >= nodes_) {
+    throw std::out_of_range("ib::Fabric::path_links: node out of range");
+  }
+  if (src == dst) return 0;
+  return leaf_of(src) == leaf_of(dst) ? 2 : 4;
+}
+
 MsgTiming Fabric::send_message(int src, int dst, std::int64_t bytes, sim::Time ready) {
   if (src < 0 || src >= nodes_ || dst < 0 || dst >= nodes_) {
     throw std::out_of_range("ib::Fabric::send_message: node out of range");

@@ -13,11 +13,13 @@
 //
 // Like the Data Vortex FabricModel, this is pure timing math over per-link
 // next-free times, with messages chunked at MTU granularity so concurrent
-// flows interleave; the DES guarantees nondecreasing call times.
+// flows interleave; the DES guarantees nondecreasing call times. It is one
+// implementation of the net::Interconnect seam the MPI runtime is built on.
 
 #include <cstdint>
 #include <vector>
 
+#include "net/interconnect.hpp"
 #include "sim/time.hpp"
 
 namespace dvx::ib {
@@ -33,29 +35,31 @@ struct IbParams {
   int nodes_per_leaf = 8;              ///< down ports per leaf switch
 };
 
-struct MsgTiming {
-  sim::Time first_arrival;
-  sim::Time last_arrival;
-};
+using MsgTiming = net::MsgTiming;
 
-class Fabric {
+class Fabric final : public net::Interconnect {
  public:
-  Fabric(int nodes, IbParams params = {});
+  explicit Fabric(int nodes, IbParams params = {});
 
-  int nodes() const noexcept { return nodes_; }
+  int nodes() const noexcept override { return nodes_; }
   const IbParams& params() const noexcept { return params_; }
   int leaves() const noexcept { return leaves_; }
   int spines() const noexcept { return spines_; }
 
+  /// Number of links on the static route src -> dst: 2 within a leaf,
+  /// 4 across leaves (up, leaf->spine, spine->leaf, down), 0 loopback.
+  int path_links(int src, int dst) const;
+
   /// Moves `bytes` from `src` to `dst`, first byte injectable at `ready`.
   /// Chunks at MTU, serializes on every link of the statically routed path,
   /// and enforces the NIC message-rate gap. src == dst is a host memcpy.
-  MsgTiming send_message(int src, int dst, std::int64_t bytes, sim::Time ready);
+  MsgTiming send_message(int src, int dst, std::int64_t bytes,
+                         sim::Time ready) override;
 
   /// Total bytes offered to the fabric so far (diagnostics).
-  std::int64_t bytes_sent() const noexcept { return bytes_sent_; }
+  std::int64_t bytes_sent() const noexcept override { return bytes_sent_; }
 
-  void reset();
+  void reset() override;
 
  private:
   int leaf_of(int node) const noexcept { return node / params_.nodes_per_leaf; }

@@ -1,15 +1,20 @@
 #include "mpi/comm.hpp"
 
 #include <stdexcept>
+#include <utility>
 
 #include "obs/collector.hpp"
 
 namespace dvx::mpi {
 
-MpiWorld::MpiWorld(sim::Engine& engine, ib::Fabric& fabric, int ranks, MpiParams params,
-                   sim::Tracer* tracer)
-    : engine_(engine), fabric_(fabric), ranks_(ranks), params_(params), tracer_(tracer) {
-  if (ranks <= 0 || ranks > fabric.nodes()) {
+MpiWorld::MpiWorld(sim::Engine& engine, std::unique_ptr<net::Interconnect> fabric,
+                   int ranks, MpiParams params, sim::Tracer* tracer)
+    : engine_(engine), fabric_(std::move(fabric)), ranks_(ranks), params_(params),
+      tracer_(tracer) {
+  if (!fabric_) {
+    throw std::invalid_argument("MpiWorld: interconnect must not be null");
+  }
+  if (ranks <= 0 || ranks > fabric_->nodes()) {
     throw std::invalid_argument("MpiWorld: rank count must fit the fabric");
   }
   endpoints_.resize(static_cast<std::size_t>(ranks));

@@ -1,5 +1,5 @@
 #pragma once
-// MiniMPI — a small MPI implementation over the InfiniBand fabric model.
+// MiniMPI — a small MPI implementation over an abstract interconnect.
 //
 // Provides the semantics the paper's baseline codes rely on: blocking and
 // nonblocking point-to-point with (source, tag) matching including
@@ -10,6 +10,9 @@
 //
 // Payloads are vectors of 64-bit words: applications move real data (so
 // results are testable), while all timing flows through the fabric model.
+// The runtime is generic over the network: it owns a net::Interconnect and
+// never names a concrete fabric, so the same protocol engine runs over the
+// InfiniBand fat-tree, the 3D torus, or any future backend.
 
 #include <cstdint>
 #include <deque>
@@ -17,7 +20,7 @@
 #include <memory>
 #include <vector>
 
-#include "ib/topology.hpp"
+#include "net/interconnect.hpp"
 #include "obs/metrics.hpp"
 #include "sim/engine.hpp"
 #include "sim/sync.hpp"
@@ -100,15 +103,16 @@ class Comm {
   int rank_;
 };
 
-/// Owns the per-rank endpoints and runs the eager/rendezvous protocol.
+/// Owns the per-rank endpoints, the interconnect the bytes travel over, and
+/// runs the eager/rendezvous protocol.
 class MpiWorld {
  public:
-  MpiWorld(sim::Engine& engine, ib::Fabric& fabric, int ranks,
-           MpiParams params = {}, sim::Tracer* tracer = nullptr);
+  MpiWorld(sim::Engine& engine, std::unique_ptr<net::Interconnect> fabric,
+           int ranks, MpiParams params = {}, sim::Tracer* tracer = nullptr);
 
   int size() const noexcept { return ranks_; }
   sim::Engine& engine() noexcept { return engine_; }
-  ib::Fabric& fabric() noexcept { return fabric_; }
+  net::Interconnect& fabric() noexcept { return *fabric_; }
   const MpiParams& params() const noexcept { return params_; }
   sim::Tracer* tracer() noexcept { return tracer_; }
   Comm comm(int rank) { return Comm(*this, rank); }
@@ -148,7 +152,7 @@ class MpiWorld {
   void complete(const Request& op, sim::Time at);
 
   sim::Engine& engine_;
-  ib::Fabric& fabric_;
+  std::unique_ptr<net::Interconnect> fabric_;
   int ranks_;
   MpiParams params_;
   sim::Tracer* tracer_;

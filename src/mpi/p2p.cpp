@@ -23,7 +23,7 @@ Request MpiWorld::start_send(int src, int dst, int tag, std::vector<std::uint64_
   }
 
   if (bytes <= params_.eager_threshold) {
-    const auto t = fabric_.send_message(src, dst, bytes, now);
+    const auto t = fabric_->send_message(src, dst, bytes, now);
     if (tracer_ != nullptr) {
       tracer_->record_message(src, dst, now, t.last_arrival, bytes, tag);
     }
@@ -44,7 +44,7 @@ Request MpiWorld::start_send(int src, int dst, int tag, std::vector<std::uint64_
   pending->tag = tag;
   pending->data = std::move(data);
   pending->op = op;
-  const auto rts_t = fabric_.send_message(src, dst, params_.envelope_bytes, now);
+  const auto rts_t = fabric_->send_message(src, dst, params_.envelope_bytes, now);
   engine_.schedule(rts_t.last_arrival, [this, dst, src, tag, pending, rts_t] {
     handle_rts(dst, Rts{src, tag, rts_t.last_arrival, pending});
   });
@@ -107,13 +107,13 @@ void MpiWorld::handle_rts(int dst, Rts rts) {
 void MpiWorld::grant_rts(int dst, const Rts& rts, const Request& recv_op) {
   // CTS back to the sender, then the bulk payload to the receiver.
   const auto cts_t =
-      fabric_.send_message(dst, rts.src, params_.envelope_bytes, engine_.now());
+      fabric_->send_message(dst, rts.src, params_.envelope_bytes, engine_.now());
   auto pending = rts.sender;
   engine_.schedule(cts_t.last_arrival, [this, pending, recv_op, dst] {
     const auto bytes =
         static_cast<std::int64_t>(pending->data.size()) * 8 + params_.envelope_bytes;
     const sim::Time now = engine_.now();
-    const auto t = fabric_.send_message(pending->src, pending->dst, bytes, now);
+    const auto t = fabric_->send_message(pending->src, pending->dst, bytes, now);
     if (tracer_ != nullptr) {
       tracer_->record_message(pending->src, pending->dst, now, t.last_arrival, bytes,
                               pending->tag);

@@ -2,12 +2,23 @@
 
 #include <deque>
 #include <stdexcept>
+#include <utility>
 
 #include "check/check.hpp"
 #include "obs/collector.hpp"
 #include "runtime/report.hpp"
 
 namespace dvx::runtime {
+
+const char* to_string(MpiFabric fabric) noexcept {
+  switch (fabric) {
+    case MpiFabric::kIb:
+      return "mpi";
+    case MpiFabric::kTorus:
+      return "mpi-torus";
+  }
+  return "mpi";  // unreachable; keeps -Wreturn-type quiet
+}
 
 Cluster::Cluster(ClusterConfig config) : config_(config), tracer_(config.trace) {
   if (config_.nodes <= 0) throw std::invalid_argument("Cluster: nodes must be positive");
@@ -91,11 +102,21 @@ RunResult Cluster::run_dv(const DvProgram& program) {
 }
 
 RunResult Cluster::run_mpi(const MpiProgram& program) {
-  const check::ScopedBackend check_backend("mpi");
+  // The check context carries the real backend id ("mpi" vs "mpi-torus"),
+  // so invariant-failure JSON distinguishes the fabrics.
+  const check::ScopedBackend check_backend(to_string(config_.mpi_fabric));
   TraceCapture capture(tracer_);
   sim::Engine engine;
-  ib::Fabric fabric(config_.nodes, config_.ib);
-  mpi::MpiWorld world(engine, fabric, config_.nodes, config_.mpi,
+  std::unique_ptr<net::Interconnect> fabric;
+  switch (config_.mpi_fabric) {
+    case MpiFabric::kIb:
+      fabric = std::make_unique<ib::Fabric>(config_.nodes, config_.ib);
+      break;
+    case MpiFabric::kTorus:
+      fabric = std::make_unique<torus::Fabric>(config_.nodes, config_.torus);
+      break;
+  }
+  mpi::MpiWorld world(engine, std::move(fabric), config_.nodes, config_.mpi,
                       capture.tracer_or_null());
   CostModel cost(config_.cost);
   std::deque<NodeCtx> node_ctxs;

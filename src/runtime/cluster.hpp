@@ -14,15 +14,27 @@
 #include "runtime/node.hpp"
 #include "sim/engine.hpp"
 #include "sim/trace.hpp"
+#include "torus/fabric.hpp"
 #include "vic/vic.hpp"
 
 namespace dvx::runtime {
+
+/// Which net::Interconnect run_mpi builds. kIb is the paper's baseline
+/// fat-tree; kTorus is the APEnet+-style 3D torus (ROADMAP item 4).
+enum class MpiFabric { kIb, kTorus };
+
+/// Canonical backend id for check/obs context and experiment records:
+/// "mpi" for the InfiniBand fat-tree (also accepted as "mpi-ib" at the
+/// CLI), "mpi-torus" for the torus.
+const char* to_string(MpiFabric fabric) noexcept;
 
 struct ClusterConfig {
   int nodes = 32;
   vic::DvFabricParams dv{};
   dvapi::DvApiParams dvapi{};
   ib::IbParams ib{};
+  torus::TorusParams torus{};
+  MpiFabric mpi_fabric = MpiFabric::kIb;
   mpi::MpiParams mpi{};
   CostParams cost{};
   bool trace = false;  ///< record Extrae-style state/message traces

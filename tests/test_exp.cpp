@@ -76,7 +76,7 @@ TEST(Workload, BarrierRunBackendMeasuresBothNetworks) {
   ASSERT_NE(barrier, nullptr);
   auto params = barrier->default_params(true);
   const auto dv = barrier->run_backend(exp::Backend::kDv, 2, params);
-  const auto mpi = barrier->run_backend(exp::Backend::kMpi, 2, params);
+  const auto mpi = barrier->run_backend(exp::Backend::kMpiIb, 2, params);
   EXPECT_GT(dv.at("latency_us"), 0.0);
   EXPECT_GT(mpi.at("latency_us"), 0.0);
   // The same point is deterministic across calls.
@@ -87,9 +87,57 @@ TEST(Workload, BarrierRunBackendMeasuresBothNetworks) {
 TEST(Workload, TraceWorkloadIsMpiOnly) {
   const auto* trace = exp::Registry::instance().find("gups_trace");
   ASSERT_NE(trace, nullptr);
-  EXPECT_TRUE(trace->has_backend(exp::Backend::kMpi));
+  EXPECT_TRUE(trace->has_backend(exp::Backend::kMpiIb));
   EXPECT_FALSE(trace->has_backend(exp::Backend::kDv));
+  EXPECT_FALSE(trace->has_backend(exp::Backend::kMpiTorus));
   EXPECT_TRUE(trace->run_backend(exp::Backend::kDv, 8, trace->default_params(true)).empty());
+}
+
+TEST(Workload, BackendIdsRoundTripAndAliasParses) {
+  EXPECT_STREQ(exp::to_string(exp::Backend::kDv), "dv");
+  EXPECT_STREQ(exp::to_string(exp::Backend::kMpiIb), "mpi");  // legacy wire id
+  EXPECT_STREQ(exp::to_string(exp::Backend::kMpiTorus), "mpi-torus");
+  EXPECT_EQ(exp::parse_backend("dv"), exp::Backend::kDv);
+  EXPECT_EQ(exp::parse_backend("mpi"), exp::Backend::kMpiIb);
+  EXPECT_EQ(exp::parse_backend("mpi-ib"), exp::Backend::kMpiIb);  // CLI alias
+  EXPECT_EQ(exp::parse_backend("mpi-torus"), exp::Backend::kMpiTorus);
+  EXPECT_THROW(exp::parse_backend("ethernet"), std::invalid_argument);
+  EXPECT_THROW(exp::parse_backend(""), std::invalid_argument);
+  for (const exp::Backend b : exp::all_backends()) {
+    EXPECT_EQ(exp::parse_backend(exp::to_string(b)), b);
+    EXPECT_STRNE(exp::display_name(b), "");
+  }
+}
+
+TEST(Workload, SelectedBackendsFiltersAndKeepsCanonicalOrder) {
+  const auto* gups = exp::Registry::instance().find("gups");
+  ASSERT_NE(gups, nullptr);
+  exp::RunOptions opt;
+  // Empty filter: the legacy dv+mpi default, torus only on request.
+  auto def = gups->selected_backends(opt);
+  ASSERT_EQ(def.size(), 2u);
+  EXPECT_EQ(def[0], exp::Backend::kDv);
+  EXPECT_EQ(def[1], exp::Backend::kMpiIb);
+  // Explicit filter: canonical order regardless of CLI order, deduplicated.
+  opt.backends = {exp::Backend::kMpiTorus, exp::Backend::kDv, exp::Backend::kDv};
+  auto three = gups->selected_backends(opt);
+  ASSERT_EQ(three.size(), 2u);
+  EXPECT_EQ(three[0], exp::Backend::kDv);
+  EXPECT_EQ(three[1], exp::Backend::kMpiTorus);
+  // Workloads without a backend drop it silently.
+  const auto* trace = exp::Registry::instance().find("gups_trace");
+  ASSERT_NE(trace, nullptr);
+  opt.backends = {exp::Backend::kDv, exp::Backend::kMpiTorus};
+  EXPECT_TRUE(trace->selected_backends(opt).empty());
+}
+
+TEST(Workload, EveryWorkloadDeclaresItsBackendsExplicitly) {
+  for (const auto* w : exp::Registry::instance().all()) {
+    bool any = false;
+    for (const exp::Backend b : exp::all_backends()) any |= w->has_backend(b);
+    EXPECT_TRUE(any) << w->name();
+    EXPECT_FALSE(w->default_backends().empty()) << w->name();
+  }
 }
 
 TEST(Driver, RejectsUnknownArgumentsAndFigures) {
@@ -121,6 +169,42 @@ TEST(Driver, RejectsEmptyCsvFieldsInsteadOfDroppingThem) {
 TEST(Driver, RejectsBadJobsValues) {
   EXPECT_EQ(cli({"--figure", "fig4", "--fast", "--jobs", "0"}), 2);
   EXPECT_EQ(cli({"--figure", "fig4", "--fast", "--jobs", "-3"}), 2);
+}
+
+TEST(Driver, RejectsUnknownBackends) {
+  EXPECT_EQ(cli({"--figure", "fig4", "--fast", "--backends", "ethernet"}), 2);
+  EXPECT_EQ(cli({"--figure", "fig4", "--fast", "--backends", "dv,,mpi"}), 2);
+  EXPECT_EQ(cli({"--figure", "fig4", "--fast", "--backends", ""}), 2);
+}
+
+TEST(Driver, ThreeWayTrafficEmitsDistinctBackendIds) {
+  const std::string combined =
+      ::testing::TempDir() + "/dvx_bench_three_way.json";
+  std::remove(combined.c_str());
+  EXPECT_EQ(cli({"--figure", "traffic", "--fast", "--backends", "dv,mpi-ib,mpi-torus",
+                 "--no-figure-json", "--json", combined.c_str()}),
+            0);
+  const std::string doc = slurp(combined);
+  ASSERT_FALSE(doc.empty());
+  EXPECT_TRUE(is_valid_json(doc));
+  EXPECT_NE(doc.find("\"backend\": \"dv\""), std::string::npos);
+  EXPECT_NE(doc.find("\"backend\": \"mpi\""), std::string::npos);
+  EXPECT_NE(doc.find("\"backend\": \"mpi-torus\""), std::string::npos);
+  std::remove(combined.c_str());
+}
+
+TEST(Driver, BackendFilterSkipsUnsupportedSeries) {
+  // fig3 has no torus series: asking for torus alone runs an empty plan.
+  const std::string combined =
+      ::testing::TempDir() + "/dvx_bench_torus_only.json";
+  std::remove(combined.c_str());
+  EXPECT_EQ(cli({"--figure", "fig3", "--fast", "--backends", "mpi-torus",
+                 "--no-figure-json", "--json", combined.c_str()}),
+            0);
+  const std::string doc = slurp(combined);
+  EXPECT_TRUE(is_valid_json(doc));
+  EXPECT_EQ(doc.find("\"backend\": \"mpi-torus\""), std::string::npos);
+  std::remove(combined.c_str());
 }
 
 TEST(Driver, HelpWinsButDoesNotSwallowGarbage) {
@@ -249,6 +333,7 @@ class FailingWorkload final : public exp::Workload {
   std::vector<exp::MetricSpec> metric_specs() const override {
     return {{"value", "", "synthetic metric"}};
   }
+  bool has_backend(exp::Backend b) const override { return b == exp::Backend::kDv; }
   exp::MetricMap run_backend(exp::Backend, int nodes,
                              const exp::ParamMap&) const override {
     if (nodes == 2) throw std::runtime_error("injected point failure");

@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <deque>
+#include <memory>
 #include <numeric>
 #include <vector>
 
@@ -89,8 +90,7 @@ TEST(IbFabric, RejectsBadNodes) {
 template <typename Body>
 sim::Time run_ranks(int n, Body body) {
   Engine engine;
-  ib::Fabric fabric(n);
-  mpi::MpiWorld world(engine, fabric, n);
+  mpi::MpiWorld world(engine, std::make_unique<ib::Fabric>(n), n);
   for (int r = 0; r < n; ++r) engine.spawn(body(world.comm(r)));
   const auto t = engine.run();
   EXPECT_TRUE(engine.all_done()) << "a rank deadlocked";
