@@ -11,6 +11,7 @@
 
 #include "exp/scheduler.hpp"
 #include "exp/workload.hpp"
+#include "runtime/cluster.hpp"
 
 namespace dvx::exp {
 namespace {
@@ -35,6 +36,10 @@ void print_usage(std::ostream& os) {
         "  --jobs N             run measurement points on N threads (default: the\n"
         "                       DVX_BENCH_JOBS env var, else hardware concurrency;\n"
         "                       results are identical at any N, --jobs 1 = serial)\n"
+        "  --engine-threads N   worker threads inside each simulation's sharded\n"
+        "                       DES engine (default: the DVX_ENGINE_THREADS env\n"
+        "                       var, else 1; results are identical at any N —\n"
+        "                       see DESIGN.md §12)\n"
         "  --json PATH          also write the combined JSON document to PATH\n"
         "  --no-figure-json     skip the per-figure BENCH_<figure>.json files\n"
         "  --metrics-out DIR    collect obs metrics per measurement point and write\n"
@@ -107,6 +112,7 @@ struct CliOptions {
   std::vector<std::string> figures;
   RunOptions run;
   int jobs = 0;  ///< 0 = PointScheduler::default_jobs()
+  int engine_threads = 0;  ///< 0 = runtime::default_engine_threads()
   std::string json_path;
   bool figure_json = true;
 };
@@ -208,6 +214,15 @@ bool parse_args(int argc, const char* const* argv, CliOptions& opt, std::ostream
         err << "dvx_bench: bad --jobs value '" << v << "' (must be an integer >= 1)\n";
         ok = false;
       }
+    } else if (arg == "--engine-threads") {
+      const char* v = need_value(i, arg);
+      if (!v) continue;
+      if (!parse_number(std::string_view(v), opt.engine_threads) ||
+          opt.engine_threads < 1) {
+        err << "dvx_bench: bad --engine-threads value '" << v
+            << "' (must be an integer >= 1)\n";
+        ok = false;
+      }
     } else if (arg == "--json") {
       const char* v = need_value(i, arg);
       if (!v) continue;
@@ -258,6 +273,9 @@ int run_with(CliOptions opt) {
 
   if (!opt.run.fast) opt.run.fast = fast_mode_env();
   const int jobs = opt.jobs > 0 ? opt.jobs : PointScheduler::default_jobs();
+  if (opt.engine_threads > 0) {
+    runtime::set_default_engine_threads(opt.engine_threads);
+  }
 
   runtime::ResultSink sink;
   sink.fast = opt.run.fast;

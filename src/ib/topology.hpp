@@ -61,6 +61,13 @@ class Fabric final : public net::Interconnect {
 
   void reset() override;
 
+  /// Conservative cross-node latency bound (net::Interconnect contract):
+  /// even the intra-leaf path pays the NIC-to-NIC wire latency plus one
+  /// switch hop before the first byte can land on another node.
+  sim::Duration lookahead() const noexcept override {
+    return params_.wire_latency + params_.switch_hop;
+  }
+
  private:
   int leaf_of(int node) const noexcept { return node / params_.nodes_per_leaf; }
 

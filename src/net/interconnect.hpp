@@ -52,6 +52,13 @@ class Interconnect {
   /// Clears all contention state (link next-free times, NIC gates, counters)
   /// back to construction values.
   virtual void reset() = 0;
+
+  /// Conservative lower bound on cross-node delivery latency: no message
+  /// injected at time t may arrive at another node before t + lookahead().
+  /// A sharded sim::Engine uses this as its synchronization window width
+  /// (DESIGN.md §12), so the bound must be safe, not tight — 0 (the
+  /// default) means "no bound known" and forces serial execution.
+  virtual sim::Duration lookahead() const noexcept { return 0; }
 };
 
 }  // namespace dvx::net

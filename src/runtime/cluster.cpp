@@ -1,7 +1,9 @@
 #include "runtime/cluster.hpp"
 
+#include <cstdlib>
 #include <deque>
 #include <stdexcept>
+#include <string>
 #include <utility>
 
 #include "check/check.hpp"
@@ -9,6 +11,27 @@
 #include "runtime/report.hpp"
 
 namespace dvx::runtime {
+
+namespace {
+int g_default_engine_threads = 0;  // 0 = fall back to env / 1
+}  // namespace
+
+int default_engine_threads() {
+  if (g_default_engine_threads > 0) return g_default_engine_threads;
+  if (const char* env = std::getenv("DVX_ENGINE_THREADS")) {
+    try {
+      const int n = std::stoi(env);
+      if (n > 0) return n;
+    } catch (const std::exception&) {
+      // fall through: a malformed value means "unset"
+    }
+  }
+  return 1;
+}
+
+void set_default_engine_threads(int threads) {
+  g_default_engine_threads = threads > 0 ? threads : 0;
+}
 
 const char* to_string(MpiFabric fabric) noexcept {
   switch (fabric) {
@@ -46,6 +69,11 @@ RunResult collect(sim::Engine& engine, std::deque<NodeCtx>& ctxs) {
     m->counter("sim.engine.events")->add(engine.events_processed());
     m->gauge("sim.engine.queue_depth")
         ->sample(static_cast<double>(engine.max_queue_depth()));
+    // The conservative window bound, for sanity-checking sharded runs. The
+    // thread count is deliberately NOT exported: metrics snapshots must be
+    // byte-identical at any --engine-threads value.
+    m->gauge("sim.engine.lookahead_ps")
+        ->sample(static_cast<double>(engine.sharding().lookahead));
   }
   return RunResult{finished, e > b ? e - b : 0};
 }
@@ -87,6 +115,16 @@ RunResult Cluster::run_dv(const DvProgram& program) {
   TraceCapture capture(tracer_);
   sim::Engine engine;
   vic::DvFabric fabric(engine, config_.nodes, config_.dv);
+  // Shard count stays 1 for cluster runs: the fabric models are shared
+  // mutable state, and partitioning them per shard is the staged follow-up
+  // (DESIGN.md §12). The window parameters are still configured — threads
+  // and the physical lookahead bound — so the sharded path lights up for
+  // any workload that opts into shards > 1, and so the bound is recorded
+  // in metrics for every run.
+  const int threads =
+      config_.engine_threads > 0 ? config_.engine_threads : default_engine_threads();
+  engine.configure_sharding(
+      {.shards = 1, .threads = threads, .lookahead = fabric.min_remote_latency()});
   CostModel cost(config_.cost);
   std::deque<dvapi::DvContext> dv_ctxs;
   std::deque<NodeCtx> node_ctxs;
@@ -116,6 +154,12 @@ RunResult Cluster::run_mpi(const MpiProgram& program) {
       fabric = std::make_unique<torus::Fabric>(config_.nodes, config_.torus);
       break;
   }
+  // Same single-shard configuration as run_dv; see the comment there. The
+  // lookahead comes from the interconnect's own conservative bound.
+  const int threads =
+      config_.engine_threads > 0 ? config_.engine_threads : default_engine_threads();
+  engine.configure_sharding(
+      {.shards = 1, .threads = threads, .lookahead = fabric->lookahead()});
   mpi::MpiWorld world(engine, std::move(fabric), config_.nodes, config_.mpi,
                       capture.tracer_or_null());
   CostModel cost(config_.cost);

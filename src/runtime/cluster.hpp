@@ -38,7 +38,18 @@ struct ClusterConfig {
   mpi::MpiParams mpi{};
   CostParams cost{};
   bool trace = false;  ///< record Extrae-style state/message traces
+  /// Worker threads for the engine's sharded execution mode (0 = process
+  /// default, see default_engine_threads()). Pure execution parallelism:
+  /// results are byte-identical at any value (DESIGN.md §12).
+  int engine_threads = 0;
 };
+
+/// Process-wide default for ClusterConfig::engine_threads == 0: the
+/// `--engine-threads` CLI value when set, else the DVX_ENGINE_THREADS
+/// environment variable, else 1.
+int default_engine_threads();
+/// Overrides the process default (<= 0 restores env/1 resolution).
+void set_default_engine_threads(int threads);
 
 struct RunResult {
   sim::Time finished;       ///< virtual time when the last rank finished

@@ -1,15 +1,28 @@
 #include "sim/engine.hpp"
 
 #include <algorithm>
+#include <atomic>
+#include <barrier>
 #include <stdexcept>
+#include <thread>
 #include <utility>
 
 #include "check/check.hpp"
 
 namespace dvx::sim {
 
+namespace {
+// The shard a worker thread is currently dispatching for, so that now() and
+// default-shard scheduling resolve to the executing shard. Cleared outside
+// windows; the engine pointer disambiguates nested/foreign engines.
+thread_local const Engine* tls_engine = nullptr;
+thread_local int tls_shard = -1;
+}  // namespace
+
 Engine::Engine() : audit_interval_(check::default_audit_interval()) {
-  heap_.resize(kHeapPad);  // front pad: aligns every 4-child group to a line
+  shards_.resize(1);
+  shards_[0].heap.resize(kHeapPad);  // front pad: aligns 4-child groups
+  shards_[0].outbox.resize(1);
 }
 
 Engine::~Engine() {
@@ -18,37 +31,81 @@ Engine::~Engine() {
   }
 }
 
-void Engine::spawn(Coro<void> coro, Time start) {
-  DVX_CHECK(coro.valid()) << "spawn of an empty/moved-from coroutine";
-  roots_.push_back(Root{coro.release(), false});
-  Root& root = roots_.back();
-  root.handle.promise().done_flag = &root.done;
-  schedule_handle(start < now_ ? now_ : start, root.handle);
+Time Engine::now() const noexcept {
+  if (tls_engine == this && tls_shard >= 0) {
+    return shards_[static_cast<std::size_t>(tls_shard)].now;
+  }
+  return now_;
 }
 
-// Logical heap index i lives at heap_[i + kHeapPad]; children of logical i
+void Engine::configure_sharding(const ShardingConfig& config) {
+  DVX_CHECK(config.shards >= 1) << "sharding needs at least one shard";
+  DVX_CHECK(config.threads >= 1) << "sharding needs at least one thread";
+  DVX_CHECK(config.shards == 1 || config.lookahead > 0)
+      << "sharded execution needs a positive conservative lookahead";
+  for (const auto& s : shards_) {
+    DVX_CHECK(s.heap.size() <= kHeapPad)
+        << "cannot reconfigure sharding with events pending";
+  }
+  sharding_ = config;
+  shards_.resize(static_cast<std::size_t>(config.shards));
+  for (auto& s : shards_) {
+    if (s.heap.size() < kHeapPad) s.heap.resize(kHeapPad);
+    s.outbox.resize(static_cast<std::size_t>(config.shards));
+    s.now = now_;
+  }
+}
+
+int Engine::resolve_shard(int shard) const {
+  if (shard < 0) {
+    return (tls_engine == this && tls_shard >= 0) ? tls_shard : 0;
+  }
+  DVX_CHECK(shard < static_cast<int>(shards_.size()))
+      << "shard " << shard << " out of range (engine has " << shards_.size()
+      << ")";
+  return shard;
+}
+
+void Engine::spawn(Coro<void> coro, Time start, int shard) {
+  DVX_CHECK(coro.valid()) << "spawn of an empty/moved-from coroutine";
+  const Time now_t = now();
+  Root* root = nullptr;
+  {
+    // Workers may spawn during a window; the deque keeps &done stable, the
+    // lock only guards the push. Uncontended in the serial engine.
+    const std::lock_guard<std::mutex> lock(spawn_mutex_);
+    roots_.push_back(Root{coro.release(), false});
+    root = &roots_.back();
+  }
+  root->handle.promise().done_flag = &root->done;
+  schedule_handle(start < now_t ? now_t : start, root->handle, shard);
+}
+
+// Logical heap index i lives at heap[i + kHeapPad]; children of logical i
 // are logical 4i+1 .. 4i+4. All index arithmetic below is in logical terms
 // with the pad applied at the subscript.
 
-void Engine::heap_push(Time t, std::uint64_t key) {
-  std::size_t i = heap_.size() - kHeapPad;
-  heap_.push_back(HeapEntry{t, key});
+void Engine::heap_push(Shard& s, Time t, std::uint64_t key) {
+  auto& heap = s.heap;
+  std::size_t i = heap.size() - kHeapPad;
+  heap.push_back(HeapEntry{t, key});
   while (i > 0) {
     const std::size_t parent = (i - 1) >> 2;
-    const HeapEntry p = heap_[parent + kHeapPad];
+    const HeapEntry p = heap[parent + kHeapPad];
     if (p.t < t || (p.t == t && p.key < key)) break;
-    heap_[i + kHeapPad] = p;
+    heap[i + kHeapPad] = p;
     i = parent;
   }
-  heap_[i + kHeapPad] = HeapEntry{t, key};
-  max_queue_depth_ = std::max(max_queue_depth_, heap_.size() - kHeapPad);
+  heap[i + kHeapPad] = HeapEntry{t, key};
+  s.max_depth = std::max(s.max_depth, heap.size() - kHeapPad);
 }
 
-Engine::HeapEntry Engine::heap_pop() {
-  const HeapEntry top = heap_[kHeapPad];
-  const HeapEntry last = heap_.back();
-  heap_.pop_back();
-  const std::size_t n = heap_.size() - kHeapPad;
+Engine::HeapEntry Engine::heap_pop(Shard& s) {
+  auto& heap = s.heap;
+  const HeapEntry top = heap[kHeapPad];
+  const HeapEntry last = heap.back();
+  heap.pop_back();
+  const std::size_t n = heap.size() - kHeapPad;
   if (n != 0) {
     // Sift the hole along the min-child path all the way to a leaf, then
     // bubble `last` back up. Compared to the textbook early-exit sift-down
@@ -61,29 +118,29 @@ Engine::HeapEntry Engine::heap_pop() {
       const std::size_t first = 4 * i + 1;
       if (first + 4 <= n) {  // full child group: branch-free min selection
         std::size_t best = first;
-        best = entry_before(heap_[first + 1 + kHeapPad], heap_[best + kHeapPad])
+        best = entry_before(heap[first + 1 + kHeapPad], heap[best + kHeapPad])
                    ? first + 1
                    : best;
-        best = entry_before(heap_[first + 2 + kHeapPad], heap_[best + kHeapPad])
+        best = entry_before(heap[first + 2 + kHeapPad], heap[best + kHeapPad])
                    ? first + 2
                    : best;
-        best = entry_before(heap_[first + 3 + kHeapPad], heap_[best + kHeapPad])
+        best = entry_before(heap[first + 3 + kHeapPad], heap[best + kHeapPad])
                    ? first + 3
                    : best;
 #if defined(__GNUC__) || defined(__clang__)
         // The winner's own child group is the next line the walk reads.
-        if (4 * best + 1 + kHeapPad < heap_.size()) {
-          __builtin_prefetch(&heap_[4 * best + 1 + kHeapPad]);
+        if (4 * best + 1 + kHeapPad < heap.size()) {
+          __builtin_prefetch(&heap[4 * best + 1 + kHeapPad]);
         }
 #endif
-        heap_[i + kHeapPad] = heap_[best + kHeapPad];
+        heap[i + kHeapPad] = heap[best + kHeapPad];
         i = best;
       } else if (first < n) {  // partial group at the frontier
         std::size_t best = first;
         for (std::size_t c = first + 1; c < n; ++c) {
-          if (entry_before(heap_[c + kHeapPad], heap_[best + kHeapPad])) best = c;
+          if (entry_before(heap[c + kHeapPad], heap[best + kHeapPad])) best = c;
         }
-        heap_[i + kHeapPad] = heap_[best + kHeapPad];
+        heap[i + kHeapPad] = heap[best + kHeapPad];
         i = best;
         break;
       } else {
@@ -92,51 +149,92 @@ Engine::HeapEntry Engine::heap_pop() {
     }
     while (i > 0) {
       const std::size_t parent = (i - 1) >> 2;
-      if (!entry_before(last, heap_[parent + kHeapPad])) break;
-      heap_[i + kHeapPad] = heap_[parent + kHeapPad];
+      if (!entry_before(last, heap[parent + kHeapPad])) break;
+      heap[i + kHeapPad] = heap[parent + kHeapPad];
       i = parent;
     }
-    heap_[i + kHeapPad] = last;
+    heap[i + kHeapPad] = last;
   }
   return top;
 }
 
-std::uint64_t Engine::make_key(bool callback, std::uint32_t slot) {
-  DVX_CHECK(next_seq_ < kMaxSeq) << "event sequence space exhausted";
-  const std::uint64_t seq = next_seq_++;
+std::uint64_t Engine::make_key(Shard& s, bool callback, std::uint32_t slot) {
+  // Both packed fields are guarded here, at the single point where the key
+  // is assembled: a slot above kSlotMask or a seq at kMaxSeq would silently
+  // corrupt the (time, insertion-seq) comparison order.
+  DVX_CHECK(slot <= kSlotMask)
+      << "event slot " << slot << " overflows the " << kSlotBits
+      << "-bit key field";
+  DVX_CHECK(s.next_seq < kMaxSeq) << "event sequence space exhausted";
+  const std::uint64_t seq = s.next_seq++;
   return (seq << kKeyShift) | (callback ? kCallbackBit : 0) | slot;
 }
 
-void Engine::schedule_handle(Time t, std::coroutine_handle<> h) {
-  DVX_CHECK(t >= now_) << "cannot schedule into the past: t=" << t
-                       << " now=" << now_;
+void Engine::push_event(Shard& s, Time t, bool callback,
+                        std::coroutine_handle<> h, std::function<void()> fn) {
   std::uint32_t slot;
-  if (!handle_free_.empty()) {
-    slot = handle_free_.back();
-    handle_free_.pop_back();
-    handle_slab_[slot] = h;
+  if (!callback) {
+    if (!s.handle_free.empty()) {
+      slot = s.handle_free.back();
+      s.handle_free.pop_back();
+      s.handle_slab[slot] = h;
+    } else {
+      slot = static_cast<std::uint32_t>(s.handle_slab.size());
+      DVX_CHECK(slot <= kSlotMask) << "too many outstanding coroutine events";
+      s.handle_slab.push_back(h);
+    }
   } else {
-    slot = static_cast<std::uint32_t>(handle_slab_.size());
-    DVX_CHECK(slot <= kSlotMask) << "too many outstanding coroutine events";
-    handle_slab_.push_back(h);
+    if (!s.fn_free.empty()) {
+      slot = s.fn_free.back();
+      s.fn_free.pop_back();
+      s.fn_slab[slot] = std::move(fn);
+    } else {
+      slot = static_cast<std::uint32_t>(s.fn_slab.size());
+      DVX_CHECK(slot <= kSlotMask) << "too many outstanding callback events";
+      s.fn_slab.push_back(std::move(fn));
+    }
   }
-  heap_push(t, make_key(/*callback=*/false, slot));
+  heap_push(s, t, make_key(s, callback, slot));
 }
 
-void Engine::schedule(Time t, std::function<void()> fn) {
-  DVX_CHECK(t >= now_) << "cannot schedule into the past: t=" << t
-                       << " now=" << now_;
-  std::uint32_t slot;
-  if (!fn_free_.empty()) {
-    slot = fn_free_.back();
-    fn_free_.pop_back();
-    fn_slab_[slot] = std::move(fn);
-  } else {
-    slot = static_cast<std::uint32_t>(fn_slab_.size());
-    DVX_CHECK(slot <= kSlotMask) << "too many outstanding callback events";
-    fn_slab_.push_back(std::move(fn));
+void Engine::schedule_handle(Time t, std::coroutine_handle<> h, int shard) {
+  const int dst = resolve_shard(shard);
+  const int cur = (tls_engine == this) ? tls_shard : -1;
+  if (cur >= 0 && dst != cur) {
+    // Cross-shard from inside a window: stage for the barrier merge. The
+    // conservative guarantee — nothing scheduled inside a window may land
+    // before the window ends — is what makes concurrent shard execution
+    // equivalent to the global (time, seq) order.
+    DVX_CHECK(t >= window_end_)
+        << "cross-shard event violates the lookahead window: t=" << t
+        << " window_end=" << window_end_ << " (lookahead too large?)";
+    shards_[static_cast<std::size_t>(cur)]
+        .outbox[static_cast<std::size_t>(dst)]
+        .push_back(Staged{t, h, {}});
+    return;
   }
-  heap_push(t, make_key(/*callback=*/true, slot));
+  Shard& s = shards_[static_cast<std::size_t>(dst)];
+  DVX_CHECK(t >= s.now) << "cannot schedule into the past: t=" << t
+                        << " now=" << s.now;
+  push_event(s, t, /*callback=*/false, h, {});
+}
+
+void Engine::schedule(Time t, std::function<void()> fn, int shard) {
+  const int dst = resolve_shard(shard);
+  const int cur = (tls_engine == this) ? tls_shard : -1;
+  if (cur >= 0 && dst != cur) {
+    DVX_CHECK(t >= window_end_)
+        << "cross-shard event violates the lookahead window: t=" << t
+        << " window_end=" << window_end_ << " (lookahead too large?)";
+    shards_[static_cast<std::size_t>(cur)]
+        .outbox[static_cast<std::size_t>(dst)]
+        .push_back(Staged{t, {}, std::move(fn)});
+    return;
+  }
+  Shard& s = shards_[static_cast<std::size_t>(dst)];
+  DVX_CHECK(t >= s.now) << "cannot schedule into the past: t=" << t
+                        << " now=" << s.now;
+  push_event(s, t, /*callback=*/true, {}, std::move(fn));
 }
 
 void Engine::add_auditor(check::InvariantAuditor* auditor) {
@@ -150,61 +248,261 @@ void Engine::remove_auditor(check::InvariantAuditor* auditor) noexcept {
 }
 
 void Engine::run_audits() {
+  // Level-2 headroom audit: the per-shard seq counters must stay inside the
+  // representable key range (make_key aborts the run at the edge; this
+  // catches a counter drifting toward it between dispatches).
+  for (const auto& s : shards_) {
+    DVX_CHECK_SOON(s.next_seq < kMaxSeq)
+        << "insertion-seq counter left the representable range";
+  }
   if (auditors_.empty()) return;
   ++audits_run_;
   for (auto* a : auditors_) a->audit(now_);
 }
 
-Time Engine::run() {
-  while (heap_.size() > kHeapPad) {
+void Engine::set_next_seq_for_test(std::uint64_t seq, int shard) {
+  shards_.at(static_cast<std::size_t>(shard)).next_seq = seq;
+}
+
+void Engine::dispatch_one(Shard& s) {
 #if defined(__GNUC__) || defined(__clang__)
-    {
-      // Start the payload fetch before the sift-down: the slab slot of the
-      // event about to fire is random relative to insertion order, and the
-      // O(log n) sift gives the line time to arrive.
-      const std::uint64_t top_key = heap_[kHeapPad].key;
-      const auto top_slot = static_cast<std::uint32_t>(top_key & kSlotMask);
-      if ((top_key & kCallbackBit) == 0) {
-        __builtin_prefetch(&handle_slab_[top_slot]);
-      } else {
-        __builtin_prefetch(&fn_slab_[top_slot]);
-      }
-    }
-#endif
-    const HeapEntry ev = heap_pop();
-    // Event-time monotonicity: the queue must never yield an event behind
-    // the clock (would reorder causally dependent wake-ups).
-    DVX_CHECK(ev.t >= now_) << "non-monotonic event: t=" << ev.t
-                            << " behind now=" << now_;
-    now_ = ev.t;
-#if DVX_CHECK_LEVEL >= 1
-    check::context().sim_time_ps = now_;
-#endif
-    ++events_processed_;
-    const auto slot = static_cast<std::uint32_t>(ev.key & kSlotMask);
-    if ((ev.key & kCallbackBit) == 0) {
-      // Free the slot before resuming: the resumed coroutine may schedule
-      // again and should find its own slot first on the free list.
-      const std::coroutine_handle<> h = handle_slab_[slot];
-      handle_slab_[slot] = {};
-      handle_free_.push_back(slot);
-      h.resume();
+  {
+    // Start the payload fetch before the sift-down: the slab slot of the
+    // event about to fire is random relative to insertion order, and the
+    // O(log n) sift gives the line time to arrive.
+    const std::uint64_t top_key = s.heap[kHeapPad].key;
+    const auto top_slot = static_cast<std::uint32_t>(top_key & kSlotMask);
+    if ((top_key & kCallbackBit) == 0) {
+      __builtin_prefetch(&s.handle_slab[top_slot]);
     } else {
-      // Move the callback out first — running it may schedule into the slab
-      // and invalidate references. Moving never allocates; the slot object
-      // is recycled for the next callback of this size class.
-      std::function<void()> fn = std::move(fn_slab_[slot]);
-      fn_slab_[slot] = nullptr;
-      fn_free_.push_back(slot);
-      fn();
+      __builtin_prefetch(&s.fn_slab[top_slot]);
     }
-    if (audit_interval_ != 0 && events_processed_ % audit_interval_ == 0) {
+  }
+#endif
+  const HeapEntry ev = heap_pop(s);
+  // Event-time monotonicity: the queue must never yield an event behind
+  // the clock (would reorder causally dependent wake-ups).
+  DVX_CHECK(ev.t >= s.now) << "non-monotonic event: t=" << ev.t
+                           << " behind now=" << s.now;
+  s.now = ev.t;
+#if DVX_CHECK_LEVEL >= 1
+  check::context().sim_time_ps = ev.t;
+#endif
+  ++s.events;
+  const auto slot = static_cast<std::uint32_t>(ev.key & kSlotMask);
+  if ((ev.key & kCallbackBit) == 0) {
+    // Free the slot before resuming: the resumed coroutine may schedule
+    // again and should find its own slot first on the free list.
+    const std::coroutine_handle<> h = s.handle_slab[slot];
+    s.handle_slab[slot] = {};
+    s.handle_free.push_back(slot);
+    h.resume();
+  } else {
+    // Move the callback out first — running it may schedule into the slab
+    // and invalidate references. Moving never allocates; the slot object
+    // is recycled for the next callback of this size class.
+    std::function<void()> fn = std::move(s.fn_slab[slot]);
+    s.fn_slab[slot] = nullptr;
+    s.fn_free.push_back(slot);
+    fn();
+  }
+}
+
+Time Engine::run() {
+  return shards_.size() == 1 ? run_serial() : run_sharded();
+}
+
+Time Engine::run_serial() {
+  Shard& s = shards_[0];
+  // The serial loop still publishes the thread-locals: now() and default
+  // shard resolution inside dispatched events go through the same path as
+  // in sharded mode, so behavior cannot diverge between the modes.
+  tls_engine = this;
+  tls_shard = 0;
+  struct TlsReset {
+    ~TlsReset() {
+      tls_engine = nullptr;
+      tls_shard = -1;
+    }
+  } reset;
+  while (s.heap.size() > kHeapPad) {
+    dispatch_one(s);
+    now_ = s.now;
+    if (audit_interval_ != 0 && s.events % audit_interval_ == 0) {
       run_audits();
     }
   }
-  // The heap drained: no live entry can tie with a future one, so the
-  // tie-break counter rewinds and kMaxSeq bounds a busy period, not a run.
-  next_seq_ = 0;
+  return finish_run();
+}
+
+Time Engine::next_window_floor() const noexcept {
+  Time t0 = -1;
+  for (const auto& s : shards_) {
+    if (s.heap.size() > kHeapPad) {
+      const Time top = s.heap[kHeapPad].t;
+      if (t0 < 0 || top < t0) t0 = top;
+    }
+  }
+  return t0;  // -1: every shard drained
+}
+
+void Engine::run_shard_window(int shard, Time window_end) {
+  Shard& s = shards_[static_cast<std::size_t>(shard)];
+  tls_engine = this;
+  tls_shard = shard;
+  try {
+    while (s.heap.size() > kHeapPad && s.heap[kHeapPad].t < window_end) {
+      dispatch_one(s);
+    }
+  } catch (...) {
+    if (!s.failure) s.failure = std::current_exception();
+  }
+  tls_engine = nullptr;
+  tls_shard = -1;
+}
+
+void Engine::rethrow_shard_failure() {
+  for (auto& s : shards_) {
+    if (s.failure) {
+      std::exception_ptr e = std::exchange(s.failure, nullptr);
+      std::rethrow_exception(e);
+    }
+  }
+}
+
+void Engine::merge_mailboxes() {
+  // Deterministic boundary merge: for each destination, staged events from
+  // every source outbox are ordered by (time, source shard, stage order)
+  // and only then assigned destination insertion-seqs. The order is a pure
+  // function of the window's simulation content — worker interleaving
+  // cannot touch it, which is what keeps output byte-identical at any
+  // thread count.
+  struct MergeRef {
+    Time t;
+    int src;
+    std::size_t idx;
+  };
+  std::vector<MergeRef> order;
+  const auto n = shards_.size();
+  for (std::size_t dst = 0; dst < n; ++dst) {
+    order.clear();
+    for (std::size_t src = 0; src < n; ++src) {
+      const auto& box = shards_[src].outbox[dst];
+      for (std::size_t i = 0; i < box.size(); ++i) {
+        order.push_back(MergeRef{box[i].t, static_cast<int>(src), i});
+      }
+    }
+    if (order.empty()) continue;
+    std::sort(order.begin(), order.end(),
+              [](const MergeRef& a, const MergeRef& b) {
+                if (a.t != b.t) return a.t < b.t;
+                if (a.src != b.src) return a.src < b.src;
+                return a.idx < b.idx;
+              });
+    Shard& d = shards_[dst];
+    for (const MergeRef& ref : order) {
+      Staged& e = shards_[static_cast<std::size_t>(ref.src)].outbox[dst][ref.idx];
+      DVX_CHECK(e.t >= d.now)
+          << "merged cross-shard event behind the destination clock";
+      if (e.h) {
+        push_event(d, e.t, /*callback=*/false, e.h, {});
+      } else {
+        push_event(d, e.t, /*callback=*/true, {}, std::move(e.fn));
+      }
+    }
+    for (std::size_t src = 0; src < n; ++src) {
+      shards_[src].outbox[dst].clear();
+    }
+  }
+}
+
+Time Engine::run_sharded() {
+  DVX_CHECK(sharding_.lookahead > 0)
+      << "sharded engine needs a positive lookahead";
+  const int nshards = static_cast<int>(shards_.size());
+  const int workers =
+      std::max(1, std::min(sharding_.threads, nshards));
+
+  auto after_window = [this] {
+    rethrow_shard_failure();
+    merge_mailboxes();
+    if (audit_interval_ != 0) {
+      const std::uint64_t total = events_processed();
+      if (total - last_audit_events_ >= audit_interval_) {
+        run_audits();
+        last_audit_events_ = total;
+      }
+    }
+  };
+
+  if (workers == 1) {
+    // Windowed sequential execution: identical window sequence, shard
+    // order, and merge order as the parallel path — the reference a
+    // threads-N run must reproduce byte for byte.
+    for (;;) {
+      const Time t0 = next_window_floor();
+      if (t0 < 0) break;
+      window_end_ = t0 + sharding_.lookahead;
+      now_ = std::max(now_, t0);
+      for (int i = 0; i < nshards; ++i) run_shard_window(i, window_end_);
+      after_window();
+    }
+    return finish_run();
+  }
+
+  std::barrier<> window_barrier(workers);
+  std::atomic<bool> stop{false};
+  Time window_end_shared = 0;  // published by the coordinator before phase A
+
+  auto worker_fn = [&, this](int w) {
+    for (;;) {
+      window_barrier.arrive_and_wait();  // phase A: window published
+      if (stop.load(std::memory_order_relaxed)) return;
+      for (int i = w; i < nshards; i += workers) {
+        run_shard_window(i, window_end_shared);
+      }
+      window_barrier.arrive_and_wait();  // phase B: window complete
+    }
+  };
+
+  std::vector<std::thread> pool;
+  pool.reserve(static_cast<std::size_t>(workers - 1));
+  for (int w = 1; w < workers; ++w) pool.emplace_back(worker_fn, w);
+
+  std::exception_ptr coordinator_failure;
+  for (;;) {
+    const Time t0 = next_window_floor();
+    if (t0 < 0) break;
+    window_end_ = t0 + sharding_.lookahead;
+    window_end_shared = window_end_;
+    now_ = std::max(now_, t0);
+    window_barrier.arrive_and_wait();  // phase A
+    for (int i = 0; i < nshards; i += workers) {
+      run_shard_window(i, window_end_shared);
+    }
+    window_barrier.arrive_and_wait();  // phase B
+    try {
+      after_window();
+    } catch (...) {
+      coordinator_failure = std::current_exception();
+      break;
+    }
+  }
+  stop.store(true, std::memory_order_relaxed);
+  window_barrier.arrive_and_wait();  // release workers parked at phase A
+  for (auto& th : pool) th.join();
+  if (coordinator_failure) std::rethrow_exception(coordinator_failure);
+  return finish_run();
+}
+
+Time Engine::finish_run() {
+  for (auto& s : shards_) {
+    now_ = std::max(now_, s.now);
+    // The heap drained: no live entry can tie with a future one, so the
+    // tie-break counter rewinds and kMaxSeq bounds a busy period, not a run.
+    s.next_seq = 0;
+  }
+  last_audit_events_ = events_processed();
   run_audits();  // drain-time sweep: short runs get audited too
   // Surface failures from simulated processes to the caller (tests rely on it).
   for (auto& r : roots_) {
@@ -213,6 +511,18 @@ Time Engine::run() {
     }
   }
   return now_;
+}
+
+std::uint64_t Engine::events_processed() const noexcept {
+  std::uint64_t total = 0;
+  for (const auto& s : shards_) total += s.events;
+  return total;
+}
+
+std::size_t Engine::max_queue_depth() const noexcept {
+  std::size_t depth = 0;
+  for (const auto& s : shards_) depth = std::max(depth, s.max_depth);
+  return depth;
 }
 
 bool Engine::all_done() const noexcept {

@@ -1,22 +1,39 @@
 #pragma once
 // Discrete-event simulation engine.
 //
-// Single-threaded, deterministic: events fire in (time, insertion-seq) order.
-// Top-level simulated processes are Coro<void> coroutines registered through
-// spawn(); they suspend on awaitables (delay, conditions, communication ops)
-// and the engine resumes them at the correct virtual time.
+// Deterministic: events fire in (time, insertion-seq) order within one
+// event-ordering shard. Top-level simulated processes are Coro<void>
+// coroutines registered through spawn(); they suspend on awaitables (delay,
+// conditions, communication ops) and the engine resumes them at the correct
+// virtual time.
 //
-// Hot-path layout (DESIGN.md §10): the ready queue is an index-based 4-ary
-// min-heap over 16-byte POD entries — sift operations move (time, key) pairs,
-// never payloads. Payloads live in recycled side-slabs (one for coroutine
-// handles, one for the rarer std::function callbacks) addressed by a slot id
-// packed into the low bits of the comparison key, so steady-state dispatch
-// performs zero heap allocations.
+// Hot-path layout (DESIGN.md §10): each shard's ready queue is an
+// index-based 4-ary min-heap over 16-byte POD entries — sift operations
+// move (time, key) pairs, never payloads. Payloads live in recycled
+// side-slabs (one for coroutine handles, one for the rarer std::function
+// callbacks) addressed by a slot id packed into the low bits of the
+// comparison key, so steady-state dispatch performs zero heap allocations.
+//
+// Sharded execution (DESIGN.md §12): configure_sharding() splits the engine
+// into S independent shards, each owning a private heap/slab set, a local
+// clock, and a local insertion-seq counter. run() then advances in
+// conservative lookahead windows [T0, T0 + lookahead): all shards dispatch
+// their events inside the window concurrently on up to `threads` workers
+// (shard state is disjoint, so no locks), and any event one shard schedules
+// onto another is staged into a per-destination mailbox. At the window
+// barrier the mailboxes are merged in deterministic (time, source-shard,
+// stage-order) order and only then assigned destination insertion-seqs, so
+// the dispatch trajectory depends on the shard layout alone — never on the
+// worker-thread count. Cross-shard events must land at or after the window
+// end; the lookahead is derived from the minimum cross-node latency of the
+// network models (net::Interconnect::lookahead, vic::DvFabric::
+// min_remote_latency), which makes the conservative guarantee physical.
 
 #include <coroutine>
 #include <cstdint>
 #include <deque>
 #include <functional>
+#include <mutex>
 #include <new>
 #include <vector>
 
@@ -26,6 +43,18 @@
 
 namespace dvx::sim {
 
+/// How Engine::run() executes: `shards` independent event-ordering domains
+/// advanced in conservative `lookahead` windows by up to `threads` workers.
+/// The dispatch trajectory (and therefore every simulation output) is a
+/// function of `shards` and `lookahead` only; `threads` is pure execution
+/// parallelism and never changes results. The default (1/1/0) is the
+/// classic single-heap serial engine.
+struct ShardingConfig {
+  int shards = 1;        ///< event-ordering domains (>= 1)
+  int threads = 1;       ///< worker threads inside a window (>= 1)
+  Duration lookahead = 0;  ///< window width; must be > 0 when shards > 1
+};
+
 class Engine {
  public:
   Engine();
@@ -33,20 +62,31 @@ class Engine {
   Engine& operator=(const Engine&) = delete;
   ~Engine();
 
-  /// Current virtual time.
-  Time now() const noexcept { return now_; }
+  /// Current virtual time: the dispatching shard's clock when called from
+  /// inside an event, the engine-wide clock otherwise.
+  Time now() const noexcept;
 
-  /// Registers a top-level process; it starts at virtual time `start`.
-  void spawn(Coro<void> coro, Time start = -1);
+  /// Selects the sharded execution mode. Must be called while no events are
+  /// pending (typically right after construction); reconfiguring with a
+  /// loaded queue would strand events in the old shard layout.
+  void configure_sharding(const ShardingConfig& config);
+  const ShardingConfig& sharding() const noexcept { return sharding_; }
+  int shards() const noexcept { return static_cast<int>(shards_.size()); }
 
-  /// Schedules a coroutine resume at absolute time t (must be >= now()).
-  void schedule_handle(Time t, std::coroutine_handle<> h);
+  /// Registers a top-level process; it starts at virtual time `start` on
+  /// shard `shard` (-1 = the scheduling shard, shard 0 outside dispatch).
+  void spawn(Coro<void> coro, Time start = -1, int shard = -1);
 
-  /// Schedules a plain callback at absolute time t (must be >= now()).
-  void schedule(Time t, std::function<void()> fn);
+  /// Schedules a coroutine resume at absolute time t (must be >= now()) on
+  /// shard `shard` (-1 = the scheduling shard). Cross-shard schedules from
+  /// inside a window must satisfy the conservative bound t >= window end.
+  void schedule_handle(Time t, std::coroutine_handle<> h, int shard = -1);
 
-  /// Runs until the event queue drains. Returns the final virtual time.
-  /// Rethrows the first exception that escaped any spawned process.
+  /// Schedules a plain callback at absolute time t; same shard rules.
+  void schedule(Time t, std::function<void()> fn, int shard = -1);
+
+  /// Runs until every shard's event queue drains. Returns the final virtual
+  /// time. Rethrows the first exception that escaped any spawned process.
   Time run();
 
   /// True when every spawned process has run to completion.
@@ -55,17 +95,18 @@ class Engine {
   /// Number of processes spawned so far.
   std::size_t spawned() const noexcept { return roots_.size(); }
 
-  /// Total events dispatched (diagnostics / microbenchmarks).
-  std::uint64_t events_processed() const noexcept { return events_processed_; }
+  /// Total events dispatched across all shards (diagnostics).
+  std::uint64_t events_processed() const noexcept;
 
-  /// High-water mark of the event queue (diagnostics; harvested into obs
-  /// metrics by the cluster runtime — the engine sits below dvx_obs and
-  /// cannot attach itself).
-  std::size_t max_queue_depth() const noexcept { return max_queue_depth_; }
+  /// High-water mark of any shard's event queue (diagnostics; harvested
+  /// into obs metrics by the cluster runtime — the engine sits below
+  /// dvx_obs and cannot attach itself).
+  std::size_t max_queue_depth() const noexcept;
 
   /// Registers an invariant auditor; audit() runs every audit_interval()
-  /// dispatched events and once when the event queue drains. Observational
-  /// only — auditors must not mutate simulation state (DESIGN.md §7).
+  /// dispatched events (at window boundaries in sharded mode) and once when
+  /// the event queue drains. Observational only — auditors must not mutate
+  /// simulation state (DESIGN.md §7).
   void add_auditor(check::InvariantAuditor* auditor);
   /// Unregisters; no-op when the auditor was never added.
   void remove_auditor(check::InvariantAuditor* auditor) noexcept;
@@ -89,7 +130,7 @@ class Engine {
       void await_resume() const noexcept {}
     };
     if (d < 0) d = 0;
-    return Awaiter{*this, now_ + d};
+    return Awaiter{*this, now() + d};
   }
 
   /// Awaitable: reschedule the current coroutine at absolute time t
@@ -102,9 +143,24 @@ class Engine {
       void await_suspend(std::coroutine_handle<> h) { engine.schedule_handle(wake, h); }
       void await_resume() const noexcept {}
     };
-    if (t < now_) t = now_;
+    const Time now_t = now();
+    if (t < now_t) t = now_t;
     return Awaiter{*this, t};
   }
+
+  // Key-packing limits, public so overflow tests can probe the edges.
+  static constexpr int kSlotBits = 25;  ///< 32M outstanding events per kind
+  static constexpr std::uint64_t kSlotMask = (std::uint64_t{1} << kSlotBits) - 1;
+  static constexpr int kKeyShift = kSlotBits + 1;
+  /// Insertion sequences per busy period (the counter resets whenever the
+  /// heap drains, so this bound is per uninterrupted run, not per Engine).
+  static constexpr std::uint64_t kMaxSeq = std::uint64_t{1} << (64 - kKeyShift);
+
+  /// Test hook: forces a shard's insertion-seq counter so the overflow
+  /// guards can be exercised without dispatching 2^38 events. Never call
+  /// outside tests — a forged counter breaks tie-break ordering with any
+  /// events already in the heap.
+  void set_next_seq_for_test(std::uint64_t seq, int shard = 0);
 
  private:
   /// 16-byte heap entry. `key` packs (seq << kKeyShift) | kind | slot: seq in
@@ -117,13 +173,7 @@ class Engine {
   };
   static_assert(sizeof(HeapEntry) == 16);
 
-  static constexpr int kSlotBits = 25;  ///< 32M outstanding events per kind
-  static constexpr std::uint64_t kSlotMask = (std::uint64_t{1} << kSlotBits) - 1;
   static constexpr std::uint64_t kCallbackBit = std::uint64_t{1} << kSlotBits;
-  static constexpr int kKeyShift = kSlotBits + 1;
-  /// Insertion sequences per busy period (the counter resets whenever the
-  /// heap drains, so this bound is per uninterrupted run, not per Engine).
-  static constexpr std::uint64_t kMaxSeq = std::uint64_t{1} << (64 - kKeyShift);
 
   struct Root {
     Coro<void>::Handle handle{};
@@ -158,28 +208,58 @@ class Engine {
   /// two straddled ones.
   static constexpr std::size_t kHeapPad = 3;
 
-  void heap_push(Time t, std::uint64_t key);
-  HeapEntry heap_pop();
-  std::uint64_t make_key(bool callback, std::uint32_t slot);
+  /// A cross-shard event parked in its source shard's outbox until the
+  /// window barrier merges it into the destination heap.
+  struct Staged {
+    Time t;
+    std::coroutine_handle<> h{};  ///< non-null: coroutine resume
+    std::function<void()> fn{};   ///< otherwise: plain callback
+  };
+
+  /// One event-ordering domain: private heap, slabs, clock, seq counter.
+  /// 64-byte aligned so concurrently-dispatching shards never share a line.
+  struct alignas(64) Shard {
+    std::vector<HeapEntry, CacheAlignedAlloc<HeapEntry>> heap;
+    std::vector<std::coroutine_handle<>> handle_slab;
+    std::vector<std::uint32_t> handle_free;
+    std::vector<std::function<void()>> fn_slab;
+    std::vector<std::uint32_t> fn_free;
+    std::vector<std::vector<Staged>> outbox;  ///< one per destination shard
+    Time now = 0;                  ///< last dispatched event time
+    std::uint64_t next_seq = 0;    ///< local insertion-seq counter
+    std::uint64_t events = 0;      ///< events dispatched by this shard
+    std::size_t max_depth = 0;     ///< heap high-water mark
+    std::exception_ptr failure{};  ///< first escape from a window dispatch
+  };
+
+  void heap_push(Shard& s, Time t, std::uint64_t key);
+  HeapEntry heap_pop(Shard& s);
+  std::uint64_t make_key(Shard& s, bool callback, std::uint32_t slot);
+  void push_event(Shard& s, Time t, bool callback, std::coroutine_handle<> h,
+                  std::function<void()> fn);
+  int resolve_shard(int shard) const;
+  void dispatch_one(Shard& s);
+
+  Time run_serial();
+  Time run_sharded();
+  Time next_window_floor() const noexcept;
+  void run_shard_window(int shard, Time window_end);
+  void merge_mailboxes();
+  void rethrow_shard_failure();
+  Time finish_run();
 
   void run_audits();
 
-  Time now_ = 0;
-  std::uint64_t next_seq_ = 0;
-  std::uint64_t events_processed_ = 0;
-  std::size_t max_queue_depth_ = 0;
-  // 4-ary min-heap; logical root at heap_[kHeapPad] (see kHeapPad above).
-  std::vector<HeapEntry, CacheAlignedAlloc<HeapEntry>> heap_;
-  // Payload side-slabs; freed slots are recycled through the free lists so
-  // steady-state scheduling touches no allocator.
-  std::vector<std::coroutine_handle<>> handle_slab_;
-  std::vector<std::uint32_t> handle_free_;
-  std::vector<std::function<void()>> fn_slab_;
-  std::vector<std::uint32_t> fn_free_;
-  std::deque<Root> roots_;  // deque: &done must stay stable
+  Time now_ = 0;             ///< engine-wide clock (window floor when sharded)
+  Time window_end_ = 0;      ///< exclusive bound of the executing window
+  ShardingConfig sharding_{};
+  std::vector<Shard> shards_;  ///< always >= 1; shard 0 is the serial heap
+  std::deque<Root> roots_;     // deque: &done must stay stable
+  std::mutex spawn_mutex_;     // spawn() may be called from window workers
   std::vector<check::InvariantAuditor*> auditors_;
   std::uint64_t audit_interval_ = 0;  // ctor sets the level-dependent default
   std::uint64_t audits_run_ = 0;
+  std::uint64_t last_audit_events_ = 0;  ///< sharded-mode cadence bookkeeping
 };
 
 }  // namespace dvx::sim

@@ -51,9 +51,16 @@ void LogHistogram::add(std::uint64_t value) {
 double LogHistogram::quantile(double q) const {
   if (total_ == 0) return 0.0;
   q = std::clamp(q, 0.0, 1.0);
+  // Anchor the tail to the last bucket that actually has mass, not to
+  // buckets_.size(): if the scan falls through (floating-point rounding of
+  // `target`, or trailing buckets left empty by a future resize path), the
+  // reported edge must still bound a recorded sample — the old fall-through
+  // reported the vector's upper edge, which can lie above every sample.
+  std::size_t last = buckets_.size();
+  while (last > 0 && buckets_[last - 1] == 0) --last;
   const double target = q * static_cast<double>(total_);
   double seen = 0.0;
-  for (std::size_t b = 0; b < buckets_.size(); ++b) {
+  for (std::size_t b = 0; b < last; ++b) {
     if (buckets_[b] == 0) continue;  // never report a bucket with no mass
     const double lo = b == 0 ? 0.0 : std::ldexp(1.0, static_cast<int>(b));
     // q == 0 (target already met): the lower edge of the first bucket with
@@ -65,7 +72,9 @@ double LogHistogram::quantile(double q) const {
       return (lo + hi) / 2.0;
     }
   }
-  return std::ldexp(1.0, static_cast<int>(buckets_.size()));
+  // Rounding pushed target past the accumulated mass: the upper edge of the
+  // last non-empty bucket bounds every recorded sample.
+  return std::ldexp(1.0, static_cast<int>(last));
 }
 
 std::string LogHistogram::to_string() const {

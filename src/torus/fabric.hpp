@@ -84,15 +84,26 @@ class Fabric final : public net::Interconnect {
 
   void reset() override;
 
- private:
-  // Directed links: 6 per node, ordered +x, -x, +y, -y, +z, -z.
+  /// Conservative cross-node latency bound (net::Interconnect contract):
+  /// every remote message pays the NIC-to-NIC wire latency plus at least
+  /// one router forwarding delay before it can arrive anywhere.
+  sim::Duration lookahead() const noexcept override {
+    return params_.wire_latency + params_.hop_latency;
+  }
+
+  // Directed links: 6 per node, ordered +x, -x, +y, -y, +z, -z. Public so
+  // the routing property tests can name exact links on the expected path.
   std::size_t link_id(int node, int dim, bool positive) const {
     return static_cast<std::size_t>(node) * 6 +
            static_cast<std::size_t>(2 * dim + (positive ? 0 : 1));
   }
-  /// Appends the dimension-order route src -> dst to `path` and returns the
-  /// destination node (== dst).
+  /// Appends the dimension-order route src -> dst to `path` as directed
+  /// link ids. Deterministic: each dimension takes the shortest wraparound
+  /// direction, and the even-extent tie (distance exactly dims[d]/2 both
+  /// ways) always routes positive. Public for the test that pins that.
   void build_path(int src, int dst, std::vector<std::size_t>& path) const;
+
+ private:
 
   int nodes_;
   TorusParams params_;

@@ -102,6 +102,15 @@ class DvFabric : public check::InvariantAuditor {
   /// the (small, log-depth) hardware latency.
   sim::Coro<void> intrinsic_barrier(int rank);
 
+  /// Conservative lower bound on remote delivery latency, the DV analogue
+  /// of net::Interconnect::lookahead(): a packet already resident on the
+  /// source card still pays at least the uncontended fabric traversal
+  /// before it can eject anywhere (PCIe/DMA time only adds to that). A
+  /// sharded sim::Engine uses this as its window width (DESIGN.md §12).
+  sim::Duration min_remote_latency() const noexcept {
+    return model_.base_latency();
+  }
+
   /// Epoch invariants across the fabric assembly (DESIGN.md §7): barrier
   /// arrival count within bounds, and per-VIC surprise-FIFO conservation
   /// (deposited == drained + buffered, buffered <= capacity). Registered

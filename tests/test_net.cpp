@@ -4,6 +4,8 @@
 
 #include <gtest/gtest.h>
 
+#include <array>
+#include <initializer_list>
 #include <memory>
 #include <stdexcept>
 #include <vector>
@@ -216,6 +218,62 @@ TEST(TorusFabric, LinkByteConservation) {
   fab.reset();
   EXPECT_EQ(fab.link_bytes(), 0);
   EXPECT_EQ(fab.bytes_sent(), 0);
+}
+
+TEST(TorusFabric, EvenDimensionTieRoutesPositive) {
+  // On an even-extent dimension, a distance of exactly dims[d]/2 is the same
+  // length both ways. The documented tie-break is the positive direction —
+  // this pins it as a property over every node and dimension of a 4x4x4
+  // torus, so a future routing change cannot silently flip it (the links are
+  // directional, so a flip would move contention without failing any
+  // latency test).
+  torus::Fabric fab(64);
+  ASSERT_EQ(fab.dims(), (std::array<int, 3>{4, 4, 4}));
+  std::vector<std::size_t> path;
+  for (int node = 0; node < fab.nodes(); ++node) {
+    const auto c = fab.coords(node);
+    for (int d = 0; d < 3; ++d) {
+      auto want = c;
+      want[static_cast<std::size_t>(d)] = (c[static_cast<std::size_t>(d)] + 2) % 4;
+      const int dst = fab.node_at(want[0], want[1], want[2]);
+      path.clear();
+      fab.build_path(node, dst, path);
+      ASSERT_EQ(path.size(), 2u) << "node " << node << " dim " << d;
+      // First hop: the source's own positive link in dimension d; second
+      // hop: the positive link of the intermediate node.
+      auto mid = c;
+      mid[static_cast<std::size_t>(d)] = (c[static_cast<std::size_t>(d)] + 1) % 4;
+      EXPECT_EQ(path[0], fab.link_id(node, d, /*positive=*/true))
+          << "node " << node << " dim " << d;
+      EXPECT_EQ(path[1],
+                fab.link_id(fab.node_at(mid[0], mid[1], mid[2]), d,
+                            /*positive=*/true))
+          << "node " << node << " dim " << d;
+    }
+  }
+  // Sanity that distances past the tie still take the genuinely shorter
+  // (negative) direction: 3 hops positive is 1 hop negative.
+  path.clear();
+  fab.build_path(fab.node_at(0, 0, 0), fab.node_at(3, 0, 0), path);
+  ASSERT_EQ(path.size(), 1u);
+  EXPECT_EQ(path[0], fab.link_id(fab.node_at(0, 0, 0), 0, /*positive=*/false));
+}
+
+TEST(NetSeam, LookaheadBoundsAreConservative) {
+  // The sharded engine's window width comes from these (DESIGN.md §12), so
+  // each backend's bound must be positive and no larger than any actual
+  // cross-node first-arrival latency.
+  ib::Fabric ib_fab(16);
+  torus::Fabric torus_fab(16);
+  for (net::Interconnect* fab :
+       std::initializer_list<net::Interconnect*>{&ib_fab, &torus_fab}) {
+    ASSERT_GT(fab->lookahead(), 0);
+    for (int dst = 1; dst < fab->nodes(); ++dst) {
+      fab->reset();
+      const auto t = fab->send_message(0, dst, 8, 0);
+      EXPECT_GE(t.first_arrival, fab->lookahead()) << "dst " << dst;
+    }
+  }
 }
 
 // --- MiniMPI over the seam ---------------------------------------------------

@@ -2,9 +2,13 @@
 
 #include <gtest/gtest.h>
 
+#include <array>
+#include <cmath>
+#include <cstdint>
 #include <stdexcept>
 #include <vector>
 
+#include "check/check.hpp"
 #include "sim/engine.hpp"
 #include "sim/rng.hpp"
 #include "sim/stats.hpp"
@@ -61,6 +65,105 @@ TEST(Engine, EventsFireInTimeThenSeqOrder) {
   e.schedule(sim::ns(10), [&] { order.push_back(3); });  // same time, later seq
   e.run();
   EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(Engine, MakeKeyGuardsSeqExhaustion) {
+  // Force the insertion-seq counter to the edge of the representable range:
+  // the last two representable keys must still schedule (and order)
+  // correctly, the next one must abort loudly instead of silently wrapping
+  // into the slot bits.
+#if DVX_CHECK_LEVEL < 1
+  GTEST_SKIP() << "the make_key guard is a DVX_CHECK, compiled out at level 0";
+#endif
+  Engine e;
+  e.set_next_seq_for_test(Engine::kMaxSeq - 2);
+  std::vector<int> order;
+  e.schedule(sim::ns(5), [&] { order.push_back(1); });
+  e.schedule(sim::ns(5), [&] { order.push_back(2); });  // same time, later seq
+  EXPECT_THROW(e.schedule(sim::ns(7), [] {}), dvx::check::CheckError);
+  e.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2}));
+  // The drain reset the counter: scheduling works again without forgery.
+  bool ran = false;
+  e.schedule(e.now() + sim::ns(1), [&] { ran = true; });
+  e.run();
+  EXPECT_TRUE(ran);
+}
+
+TEST(ShardedEngine, ConfigValidation) {
+#if DVX_CHECK_LEVEL < 1
+  GTEST_SKIP() << "configuration guards are DVX_CHECKs, compiled out at level 0";
+#endif
+  Engine e;
+  // shards > 1 without a lookahead bound cannot run conservatively.
+  EXPECT_THROW(e.configure_sharding({.shards = 2, .threads = 1, .lookahead = 0}),
+               dvx::check::CheckError);
+  EXPECT_THROW(e.configure_sharding({.shards = 0, .threads = 1, .lookahead = sim::us(1)}),
+               dvx::check::CheckError);
+  // Reconfiguring with events pending would strand them.
+  e.schedule(sim::ns(1), [] {});
+  EXPECT_THROW(e.configure_sharding({.shards = 2, .threads = 1, .lookahead = sim::us(1)}),
+               dvx::check::CheckError);
+  e.run();
+  // After the drain it is allowed again.
+  e.configure_sharding({.shards = 2, .threads = 2, .lookahead = sim::us(1)});
+  EXPECT_EQ(e.shards(), 2);
+}
+
+TEST(ShardedEngine, BoundaryMergeOrdersByTimeSourceThenStageOrder) {
+  // Shards 1..3 each stage two callbacks onto shard 0 at the same absolute
+  // time. The deterministic merge must fire them ordered by (time, source
+  // shard, staging order) regardless of which shard dispatched first.
+  Engine e;
+  e.configure_sharding({.shards = 4, .threads = 1, .lookahead = sim::us(1)});
+  std::vector<int> order;  // threads = 1: single-threaded, safe to share
+  const sim::Time arrival = sim::us(2);  // >= window end (10 ns + 1 us)
+  for (int s = 1; s < 4; ++s) {
+    e.schedule(
+        sim::ns(10),
+        [&e, &order, s, arrival] {
+          e.schedule(arrival, [&order, s] { order.push_back(10 * s + 0); }, 0);
+          e.schedule(arrival, [&order, s] { order.push_back(10 * s + 1); }, 0);
+        },
+        s);
+  }
+  e.run();
+  EXPECT_EQ(order, (std::vector<int>{10, 11, 20, 21, 30, 31}));
+}
+
+TEST(ShardedEngine, CrossShardBelowWindowEndThrows) {
+  // The conservative contract: an event staged from inside a window must
+  // land at or after the window's end. Violations abort the run instead of
+  // silently racing the destination shard.
+#if DVX_CHECK_LEVEL < 1
+  GTEST_SKIP() << "the window guard is a DVX_CHECK, compiled out at level 0";
+#endif
+  Engine e;
+  e.configure_sharding({.shards = 2, .threads = 1, .lookahead = sim::us(1)});
+  e.schedule(
+      sim::ns(10), [&e] { e.schedule(e.now() + sim::ns(5), [] {}, 1); }, 0);
+  EXPECT_THROW(e.run(), dvx::check::CheckError);
+}
+
+TEST(ShardedEngine, CoroutinesStayOnTheirShardAcrossThreadCounts) {
+  // One delay-chain coroutine pinned to each shard; every wake must see its
+  // own shard's clock. Identical virtual results at 1 and 3 workers.
+  for (const int threads : {1, 3}) {
+    Engine e;
+    e.configure_sharding({.shards = 3, .threads = threads, .lookahead = sim::us(1)});
+    std::array<sim::Time, 3> finish{};
+    for (int s = 0; s < 3; ++s) {
+      e.spawn([](Engine& eng, sim::Time& out) -> Coro<void> {
+            for (int hop = 0; hop < 100; ++hop) co_await eng.delay(sim::ns(3));
+            out = eng.now();
+          }(e, finish[static_cast<std::size_t>(s)]),
+          /*start=*/0, /*shard=*/s);
+    }
+    e.run();
+    EXPECT_TRUE(e.all_done()) << "threads " << threads;
+    for (const sim::Time t : finish) EXPECT_EQ(t, sim::ns(300));
+    EXPECT_EQ(e.events_processed(), 3u * 101u) << "threads " << threads;
+  }
 }
 
 TEST(Engine, NestedCoroutinesPropagateValues) {
@@ -295,6 +398,26 @@ TEST(Stats, LogHistogramZeroQuantileSkipsEmptyLeadingBuckets) {
   EXPECT_DOUBLE_EQ(h0.quantile(0.0), 0.0);
   // An empty histogram stays at zero.
   EXPECT_DOUBLE_EQ(sim::LogHistogram{}.quantile(0.0), 0.0);
+}
+
+TEST(Stats, LogHistogramTailQuantileBoundedByLastNonEmptyBucket) {
+  // Sparse inserts far apart: every quantile — q = 1.0 especially — must
+  // land inside the last bucket that has mass, never at the upper edge of
+  // the bucket vector (the old fall-through reported 2^size, an estimate
+  // above every recorded sample).
+  sim::LogHistogram h;
+  h.add(1);                     // bucket 0: [0, 2)
+  h.add(std::uint64_t{1} << 40);  // bucket 40: [2^40, 2^41)
+  EXPECT_DOUBLE_EQ(h.quantile(1.0),
+                   (std::ldexp(1.0, 40) + std::ldexp(1.0, 41)) / 2.0);
+  for (const double q : {0.5, 0.9, 0.99, 0.999, 1.0}) {
+    EXPECT_LE(h.quantile(q), std::ldexp(1.0, 41)) << "q = " << q;
+  }
+  // A single huge sample: the tail quantile is its bucket's midpoint.
+  sim::LogHistogram g;
+  g.add(std::uint64_t{1} << 62);
+  EXPECT_DOUBLE_EQ(g.quantile(1.0),
+                   (std::ldexp(1.0, 62) + std::ldexp(1.0, 63)) / 2.0);
 }
 
 TEST(Trace, SummaryAndRegularity) {
