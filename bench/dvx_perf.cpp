@@ -46,7 +46,7 @@ namespace sim = dvx::sim;
 namespace dvnet = dvx::dvnet;
 namespace runtime = dvx::runtime;
 
-using Clock = std::chrono::steady_clock;
+using Clock = std::chrono::steady_clock;  // det-lint: allow(system_clock) -- host repetition timing only, never feeds a report field
 
 struct BenchResult {
   std::string name;

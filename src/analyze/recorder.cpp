@@ -1,0 +1,244 @@
+#include "analyze/recorder.hpp"
+
+#include <cstring>
+#include <sstream>
+
+#include "sim/engine.hpp"
+
+namespace dvx::analyze {
+
+namespace detail {
+
+std::atomic<ShardAccessRecorder*> g_recorder{nullptr};
+
+void record(const char* object, int instance, Mode mode) noexcept {
+  if (ShardAccessRecorder* r = g_recorder.load(std::memory_order_relaxed)) {
+    r->record(object, instance, mode);
+  }
+}
+
+}  // namespace detail
+
+void next_epoch() noexcept {
+  if (ShardAccessRecorder* r = detail::g_recorder.load(std::memory_order_relaxed)) {
+    r->advance_epoch();
+  }
+}
+
+bool ShardAccessRecorder::KeyLess::operator()(
+    const std::pair<const char*, int>& a,
+    const std::pair<const char*, int>& b) const noexcept {
+  // Compare by contents, not pointer identity: the same literal may have
+  // distinct addresses across translation units.
+  const int c = std::strcmp(a.first, b.first);
+  if (c != 0) return c < 0;
+  return a.second < b.second;
+}
+
+ShardAccessRecorder::ShardAccessRecorder(int max_shards) {
+  if (max_shards < 1) max_shards = 1;
+  buckets_.resize(static_cast<std::size_t>(max_shards) + 1);
+}
+
+ShardAccessRecorder::~ShardAccessRecorder() = default;
+
+void ShardAccessRecorder::record(const char* object, int instance,
+                                 Mode mode) noexcept {
+  const int shard = sim::Engine::current_shard();
+  std::size_t bucket = static_cast<std::size_t>(shard + 1);
+  if (bucket >= buckets_.size()) {
+    bucket = buckets_.size() - 1;
+    folded_.fetch_add(1, std::memory_order_relaxed);
+  }
+  const std::uint64_t window = sim::Engine::current_window();
+  const std::uint64_t epoch = epoch_.load(std::memory_order_relaxed);
+  try {
+    auto& log = buckets_[bucket].log[{object, instance}];
+    if (!log.empty() && log.back().epoch == epoch && log.back().window == window) {
+      (mode == Mode::kWrite ? log.back().writes : log.back().reads) += 1;
+    } else {
+      WindowAccess wa;
+      wa.epoch = epoch;
+      wa.window = window;
+      (mode == Mode::kWrite ? wa.writes : wa.reads) = 1;
+      log.push_back(wa);
+    }
+  } catch (...) {
+    // Allocation failure in a diagnostics path must never take down the
+    // simulation; the tuple is simply lost.
+  }
+}
+
+std::uint64_t ShardAccessRecorder::total_records() const noexcept {
+  std::uint64_t n = 0;
+  for (const auto& b : buckets_) {
+    for (const auto& [key, log] : b.log) {
+      for (const auto& wa : log) n += wa.reads + wa.writes;
+    }
+  }
+  return n;
+}
+
+std::vector<ObjectSummary> ShardAccessRecorder::objects() const {
+  // (object, instance) -> shard -> totals; std::map keeps everything sorted.
+  std::map<std::pair<std::string, int>, std::map<int, ShardAccess>> agg;
+  for (std::size_t b = 0; b < buckets_.size(); ++b) {
+    const int shard = static_cast<int>(b) - 1;
+    for (const auto& [key, log] : buckets_[b].log) {
+      auto& sa = agg[{key.first, key.second}][shard];
+      sa.shard = shard;
+      for (const auto& wa : log) {
+        sa.reads += wa.reads;
+        sa.writes += wa.writes;
+        ++sa.windows;
+      }
+    }
+  }
+  std::vector<ObjectSummary> out;
+  out.reserve(agg.size());
+  for (const auto& [key, shards] : agg) {
+    ObjectSummary s;
+    s.object = key.first;
+    s.instance = key.second;
+    for (const auto& [shard, sa] : shards) {
+      s.reads += sa.reads;
+      s.writes += sa.writes;
+      s.shards.push_back(sa);
+    }
+    out.push_back(std::move(s));
+  }
+  return out;
+}
+
+std::vector<Conflict> ShardAccessRecorder::conflicts() const {
+  std::vector<Conflict> out;
+  // (object, instance) -> (epoch, window) -> shard -> WindowAccess.
+  std::map<std::pair<std::string, int>,
+           std::map<std::pair<std::uint64_t, std::uint64_t>,
+                    std::map<int, WindowAccess>>>
+      agg;
+  for (std::size_t b = 1; b < buckets_.size(); ++b) {  // skip shard -1
+    const int shard = static_cast<int>(b) - 1;
+    for (const auto& [key, log] : buckets_[b].log) {
+      auto& windows = agg[{key.first, key.second}];
+      for (const auto& wa : log) {
+        auto& cell = windows[{wa.epoch, wa.window}][shard];
+        cell.epoch = wa.epoch;
+        cell.window = wa.window;
+        cell.reads += wa.reads;
+        cell.writes += wa.writes;
+      }
+    }
+  }
+  for (const auto& [key, windows] : agg) {
+    for (const auto& [ew, per_shard] : windows) {
+      if (per_shard.size() < 2) continue;
+      std::uint64_t writes = 0;
+      for (const auto& [shard, wa] : per_shard) writes += wa.writes;
+      if (writes == 0) continue;  // concurrent reads are shard-safe
+      Conflict c;
+      c.object = key.first;
+      c.instance = key.second;
+      c.epoch = ew.first;
+      c.window = ew.second;
+      for (const auto& [shard, wa] : per_shard) {
+        c.shards.push_back(shard);
+        c.per_shard.push_back(wa);
+      }
+      out.push_back(std::move(c));
+    }
+  }
+  return out;
+}
+
+namespace {
+
+void json_string(std::ostream& os, const std::string& s) {
+  os << '"';
+  for (const char ch : s) {
+    switch (ch) {
+      case '"': os << "\\\""; break;
+      case '\\': os << "\\\\"; break;
+      case '\n': os << "\\n"; break;
+      case '\t': os << "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(ch) < 0x20) {
+          const char* hex = "0123456789abcdef";
+          os << "\\u00" << hex[(ch >> 4) & 0xF] << hex[ch & 0xF];
+        } else {
+          os << ch;
+        }
+    }
+  }
+  os << '"';
+}
+
+}  // namespace
+
+std::string ShardAccessRecorder::report_json() const {
+  const auto objs = objects();
+  const auto confl = conflicts();
+  std::ostringstream os;
+  os << "{\n  \"schema\": \"dvx-analyze/v1\",\n";
+  os << "  \"check_level\": " << check::compiled_level() << ",\n";
+  os << "  \"folded_records\": " << folded_records() << ",\n";
+  os << "  \"objects\": [";
+  for (std::size_t i = 0; i < objs.size(); ++i) {
+    const auto& o = objs[i];
+    os << (i ? ",\n    " : "\n    ") << "{\"object\": ";
+    json_string(os, o.object);
+    os << ", \"instance\": " << o.instance << ", \"reads\": " << o.reads
+       << ", \"writes\": " << o.writes << ", \"shards\": [";
+    for (std::size_t s = 0; s < o.shards.size(); ++s) {
+      const auto& sa = o.shards[s];
+      os << (s ? ", " : "") << "{\"shard\": " << sa.shard
+         << ", \"reads\": " << sa.reads << ", \"writes\": " << sa.writes
+         << ", \"windows\": " << sa.windows << "}";
+    }
+    os << "]}";
+  }
+  os << (objs.empty() ? "]" : "\n  ]") << ",\n";
+  os << "  \"conflicts\": [";
+  for (std::size_t i = 0; i < confl.size(); ++i) {
+    const auto& c = confl[i];
+    os << (i ? ",\n    " : "\n    ") << "{\"object\": ";
+    json_string(os, c.object);
+    os << ", \"instance\": " << c.instance << ", \"epoch\": " << c.epoch
+       << ", \"window\": " << c.window << ", \"shards\": [";
+    for (std::size_t s = 0; s < c.per_shard.size(); ++s) {
+      const auto& wa = c.per_shard[s];
+      os << (s ? ", " : "") << "{\"shard\": " << c.shards[s]
+         << ", \"reads\": " << wa.reads << ", \"writes\": " << wa.writes << "}";
+    }
+    os << "]}";
+  }
+  os << (confl.empty() ? "]" : "\n  ]") << ",\n";
+  // The actionable output: every object written at all is shared mutable
+  // state a shards > 1 cluster run would have to partition or lock.
+  os << "  \"blocking_shards_gt1\": [";
+  bool first = true;
+  for (const auto& o : objs) {
+    if (o.writes == 0) continue;
+    if (!first) os << ", ";
+    first = false;
+    std::ostringstream name;
+    name << o.object;
+    if (o.instance >= 0) name << "#" << o.instance;
+    json_string(os, name.str());
+  }
+  os << "],\n";
+  os << "  \"summary\": {\"objects\": " << objs.size() << ", \"mutated\": ";
+  std::size_t mutated = 0;
+  for (const auto& o : objs) mutated += o.writes != 0 ? 1 : 0;
+  os << mutated << ", \"conflicts\": " << confl.size() << "}\n}\n";
+  return os.str();
+}
+
+ScopedShardRecorder::ScopedShardRecorder(ShardAccessRecorder& r) noexcept
+    : prev_(detail::g_recorder.exchange(&r, std::memory_order_relaxed)) {}
+
+ScopedShardRecorder::~ScopedShardRecorder() {
+  detail::g_recorder.store(prev_, std::memory_order_relaxed);
+}
+
+}  // namespace dvx::analyze

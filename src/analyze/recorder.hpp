@@ -1,0 +1,143 @@
+#pragma once
+// The deterministic shard-access race detector (DESIGN.md §13).
+//
+// ShardAccessRecorder accumulates the (shard, object, read|write, window)
+// tuples emitted by DVX_SHARD_ACCESS instrumentation points and answers the
+// question the fabric-partitioning plan needs answered: *which shared
+// structures are touched by more than one shard inside one lookahead
+// window, with at least one write?* Those are exactly the structures that
+// must be partitioned (or proven read-only) before cluster runs can flip to
+// `shards > 1`; everything else is already safe.
+//
+// Storage is one bucket per shard (plus one for accesses outside engine
+// dispatch, e.g. construction). The engine guarantees a shard never runs on
+// two threads at once and windows are separated by barriers, so buckets are
+// written race-free without locks; buckets are 64-byte aligned so
+// concurrently-dispatching shards never share a cache line. Reports are
+// sorted maps serialized with ordered keys — byte-identical for the same
+// simulation trajectory regardless of worker-thread interleaving.
+//
+// The recorder observes and never steers: installing one cannot change any
+// simulation output.
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "analyze/shard_access.hpp"
+
+namespace dvx::analyze {
+
+/// Access counts for one (object, instance) within one (epoch, window) on
+/// one shard.
+struct WindowAccess {
+  std::uint64_t epoch = 0;
+  std::uint64_t window = 0;
+  std::uint64_t reads = 0;
+  std::uint64_t writes = 0;
+};
+
+/// One shard's view of one object across the run.
+struct ShardAccess {
+  int shard = -1;  ///< -1: outside engine dispatch (construction, teardown)
+  std::uint64_t reads = 0;
+  std::uint64_t writes = 0;
+  std::uint64_t windows = 0;  ///< distinct (epoch, window) pairs touched
+};
+
+/// Aggregated per-object summary.
+struct ObjectSummary {
+  std::string object;
+  int instance = -1;
+  std::uint64_t reads = 0;
+  std::uint64_t writes = 0;
+  std::vector<ShardAccess> shards;  ///< ordered by shard id (-1 first)
+};
+
+/// A window in which >= 2 shards touched the same object and at least one
+/// of them wrote: the concrete race that blocks `shards > 1`.
+struct Conflict {
+  std::string object;
+  int instance = -1;
+  std::uint64_t epoch = 0;
+  std::uint64_t window = 0;
+  std::vector<WindowAccess> per_shard;  ///< epoch/window repeated; ordered by shard
+  std::vector<int> shards;              ///< the conflicting shard ids, ascending
+};
+
+class ShardAccessRecorder {
+ public:
+  /// Shards at or above `max_shards` are folded into the last bucket (and
+  /// counted in folded_records()); 64 covers every configuration in the
+  /// tree with room to spare.
+  static constexpr int kDefaultMaxShards = 64;
+
+  explicit ShardAccessRecorder(int max_shards = kDefaultMaxShards);
+  ~ShardAccessRecorder();
+  ShardAccessRecorder(const ShardAccessRecorder&) = delete;
+  ShardAccessRecorder& operator=(const ShardAccessRecorder&) = delete;
+
+  /// Instrumentation entry (usually reached via DVX_SHARD_ACCESS). Resolves
+  /// the calling thread's dispatch shard and lookahead window from
+  /// sim::Engine; safe to call concurrently from engine window workers.
+  void record(const char* object, int instance, Mode mode) noexcept;
+
+  /// Bumps the epoch; see analyze::next_epoch().
+  void advance_epoch() noexcept { epoch_.fetch_add(1, std::memory_order_relaxed); }
+  std::uint64_t epoch() const noexcept { return epoch_.load(std::memory_order_relaxed); }
+
+  /// Total tuples recorded / folded into the overflow bucket.
+  std::uint64_t total_records() const noexcept;
+  std::uint64_t folded_records() const noexcept { return folded_.load(std::memory_order_relaxed); }
+
+  // Analysis (call only while no simulation is dispatching).
+
+  /// Every instrumented object touched, sorted by (object, instance).
+  std::vector<ObjectSummary> objects() const;
+  /// Cross-shard write conflicts, sorted by (object, instance, epoch,
+  /// window). Accesses outside dispatch (shard -1) never conflict.
+  std::vector<Conflict> conflicts() const;
+
+  /// The `dvx-analyze/v1` report: schema tag, compiled check level, object
+  /// inventory, conflicts, and the summary list of structures blocking
+  /// `shards > 1` (objects written at all — shared mutable state that must
+  /// be partitioned or proven read-only). Deterministic byte-for-byte for a
+  /// given simulation trajectory.
+  std::string report_json() const;
+
+ private:
+  struct KeyLess {
+    bool operator()(const std::pair<const char*, int>& a,
+                    const std::pair<const char*, int>& b) const noexcept;
+  };
+  /// Per-object log within one bucket: ordered by arrival; windows are
+  /// monotone per shard within an epoch, so the common case appends to or
+  /// merges with the last entry.
+  using ObjectLog = std::map<std::pair<const char*, int>, std::vector<WindowAccess>, KeyLess>;
+
+  struct alignas(64) Bucket {
+    ObjectLog log;
+  };
+
+  /// bucket 0 = outside dispatch (shard -1); bucket s+1 = shard s.
+  std::vector<Bucket> buckets_;
+  std::atomic<std::uint64_t> epoch_{0};
+  std::atomic<std::uint64_t> folded_{0};
+};
+
+/// RAII: installs `r` as the process-global recorder DVX_SHARD_ACCESS sites
+/// feed, restoring the previous (usually none) on destruction. Install
+/// before the run starts and uninstall after it drains — never mid-run.
+class ScopedShardRecorder {
+ public:
+  explicit ScopedShardRecorder(ShardAccessRecorder& r) noexcept;
+  ~ScopedShardRecorder();
+  ScopedShardRecorder(const ScopedShardRecorder&) = delete;
+  ScopedShardRecorder& operator=(const ScopedShardRecorder&) = delete;
+
+ private:
+  ShardAccessRecorder* prev_;
+};
+
+}  // namespace dvx::analyze

@@ -1,0 +1,89 @@
+#pragma once
+// Shard-access instrumentation points (DESIGN.md §13).
+//
+// The sharded engine (DESIGN.md §12) can only flip cluster runs to
+// `shards > 1` once every structure the shards would share — the fabric
+// models, the VIC assemblies, the MPI world — is either partitioned or
+// proven read-only. `DVX_SHARD_ACCESS(object, instance, mode)` marks the
+// places where that shared mutable state is touched; when an
+// analyze::ShardAccessRecorder is installed, each hit records a
+// (shard, object, read|write, window) tuple, and the recorder's report is
+// the measured (not guessed) list of cross-shard aliasing sites.
+//
+// Cost model, following the dvx::obs ambient-collector precedent:
+//   * below DVX_CHECK_LEVEL 2 the macro compiles to nothing — the
+//     calibrated perf sweeps and the default build pay zero;
+//   * at level >= 2 with no recorder installed, one relaxed atomic load
+//     and one predictable branch per site;
+//   * recording itself is only ever done in analysis runs
+//     (`dvx_bench --analyze-out`, tests), never in production sweeps.
+//
+// `DVX_SHARD_GUARDED(object, instance)` is the annotation form the static
+// pass (tools/dvx_analyze, rule `shard-safety`) keys on: every mutating
+// public method of a class marked `// dvx-analyze: shared-across-shards`
+// must carry one of these macros (or an explicit suppression), so the
+// static annotation and the dynamic measurement can never drift apart —
+// the same macro is both.
+//
+// The macros only ever *observe* state: simulation output is byte-identical
+// with and without a recorder installed, at every check level.
+
+#include <atomic>
+#include <cstdint>
+
+#include "check/check.hpp"
+
+namespace dvx::analyze {
+
+enum class Mode : std::uint8_t { kRead = 0, kWrite = 1 };
+
+class ShardAccessRecorder;
+
+namespace detail {
+
+/// The installed recorder (process-global; see ScopedShardRecorder in
+/// recorder.hpp). Relaxed atomics: installation happens strictly before a
+/// run starts and removal strictly after it drains, so instrumented sites
+/// never race the pointer swap itself.
+extern std::atomic<ShardAccessRecorder*> g_recorder;
+
+/// Out-of-line so instrumented translation units only pay a call when a
+/// recorder is actually installed. Resolves (shard, window) from the
+/// engine's dispatch thread-locals.
+void record(const char* object, int instance, Mode mode) noexcept;
+
+}  // namespace detail
+
+/// True when a ShardAccessRecorder is currently installed.
+inline bool recording() noexcept {
+  return detail::g_recorder.load(std::memory_order_relaxed) != nullptr;
+}
+
+/// Advances the recorder's epoch (a run/measurement-point boundary): window
+/// indices from different epochs are never merged, so sequential runs that
+/// each restart their engine's window counter cannot alias. No-op when no
+/// recorder is installed.
+void next_epoch() noexcept;
+
+}  // namespace dvx::analyze
+
+// `object` must be a string literal naming the shared structure
+// ("vic.DvFabric"); `instance` an int distinguishing peers (node id, -1 for
+// singletons); `mode` is kRead or kWrite (unqualified — the macro scopes it).
+#if DVX_CHECK_LEVEL >= 2
+#define DVX_SHARD_ACCESS(object, instance, mode)                             \
+  do {                                                                       \
+    if (::dvx::analyze::detail::g_recorder.load(std::memory_order_relaxed) != \
+        nullptr) {                                                           \
+      ::dvx::analyze::detail::record((object), (instance),                   \
+                                     ::dvx::analyze::Mode::mode);            \
+    }                                                                        \
+  } while (0)
+#else
+#define DVX_SHARD_ACCESS(object, instance, mode) ((void)0)
+#endif
+
+/// Annotation form for mutating methods of `// dvx-analyze:
+/// shared-across-shards` classes: a write-mode access point the static
+/// shard-safety rule recognizes as the method's guard.
+#define DVX_SHARD_GUARDED(object, instance) DVX_SHARD_ACCESS(object, instance, kWrite)

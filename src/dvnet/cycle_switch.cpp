@@ -4,6 +4,7 @@
 #include <stdexcept>
 #include <string>
 
+#include "analyze/shard_access.hpp"
 #include "check/check.hpp"
 #include "obs/collector.hpp"
 
@@ -37,6 +38,7 @@ CycleSwitch::CycleSwitch(Geometry geometry) : geometry_(geometry) {
 }
 
 void CycleSwitch::inject(int src_port, int dst_port, std::uint64_t tag) {
+  DVX_SHARD_GUARDED("dvnet.CycleSwitch", -1);
   if (src_port < 0 || src_port >= geometry_.ports() || dst_port < 0 ||
       dst_port >= geometry_.ports()) {
     throw std::out_of_range("CycleSwitch::inject: port out of range");
@@ -86,6 +88,7 @@ void CycleSwitch::place(int cylinder, std::uint32_t in_cylinder_node,
 }
 
 void CycleSwitch::step() {
+  DVX_SHARD_GUARDED("dvnet.CycleSwitch", -1);
   const int kC = geometry_.cylinders();
   const int kBits = geometry_.height_bits();
   const int kA = geometry_.angles;
@@ -224,6 +227,7 @@ bool CycleSwitch::drain(std::uint64_t max_cycles) {
 }
 
 void CycleSwitch::clear_deliveries() {
+  DVX_SHARD_GUARDED("dvnet.CycleSwitch", -1);
   deliveries_.clear();
   latency_rs_ = sim::RunningStats{};
   hop_rs_ = sim::RunningStats{};
@@ -231,6 +235,7 @@ void CycleSwitch::clear_deliveries() {
 }
 
 void CycleSwitch::audit_invariants() const {
+  DVX_SHARD_ACCESS("dvnet.CycleSwitch", -1, kRead);
   // Packet conservation: every packet ever injected is delivered or still
   // occupies exactly one fabric node, the active worklist mirrors the
   // grid, and the slot slab is fully accounted.
@@ -288,6 +293,7 @@ void CycleSwitch::audit(std::int64_t now_ps) {
 }
 
 bool CycleSwitch::corrupt_drop_one_for_test() {
+  // dvx-analyze: allow(shard-safety) -- seeded-fault test hook, never in production runs
   const std::size_t kHA = static_cast<std::size_t>(geometry_.ports());
   for (std::size_t cell = 0; cell < occupancy_.size(); ++cell) {
     const std::uint32_t slot1 = occupancy_[cell];

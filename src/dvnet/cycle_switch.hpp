@@ -58,6 +58,7 @@ struct Delivery {
   int deflections;
 };
 
+// dvx-analyze: shared-across-shards
 class CycleSwitch : public check::InvariantAuditor {
  public:
   explicit CycleSwitch(Geometry geometry);
@@ -84,6 +85,7 @@ class CycleSwitch : public check::InvariantAuditor {
   /// exact either way (they are folded in at ejection); the log exists for
   /// tests and tools that inspect individual packets, and grows unbounded
   /// while enabled, so production-scale runs should leave it off.
+  // dvx-analyze: allow(shard-safety) -- configuration toggle, set once before any run
   void record_deliveries(bool on) noexcept { record_deliveries_ = on; }
   bool deliveries_recorded() const noexcept { return record_deliveries_; }
   const std::vector<Delivery>& deliveries() const noexcept { return deliveries_; }

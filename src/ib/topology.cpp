@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "analyze/shard_access.hpp"
+
 namespace dvx::ib {
 
 Fabric::Fabric(int nodes, IbParams params) : nodes_(nodes), params_(params) {
@@ -23,6 +25,7 @@ Fabric::Fabric(int nodes, IbParams params) : nodes_(nodes), params_(params) {
 }
 
 void Fabric::reset() {
+  DVX_SHARD_GUARDED("ib.Fabric", -1);
   std::fill(link_free_.begin(), link_free_.end(), 0);
   std::fill(nic_gate_.begin(), nic_gate_.end(), 0);
   bytes_sent_ = 0;
@@ -37,6 +40,7 @@ int Fabric::path_links(int src, int dst) const {
 }
 
 MsgTiming Fabric::send_message(int src, int dst, std::int64_t bytes, sim::Time ready) {
+  DVX_SHARD_GUARDED("ib.Fabric", -1);
   if (src < 0 || src >= nodes_ || dst < 0 || dst >= nodes_) {
     throw std::out_of_range("ib::Fabric::send_message: node out of range");
   }

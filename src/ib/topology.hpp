@@ -37,6 +37,7 @@ struct IbParams {
 
 using MsgTiming = net::MsgTiming;
 
+// dvx-analyze: shared-across-shards
 class Fabric final : public net::Interconnect {
  public:
   explicit Fabric(int nodes, IbParams params = {});

@@ -105,6 +105,7 @@ class Comm {
 
 /// Owns the per-rank endpoints, the interconnect the bytes travel over, and
 /// runs the eager/rendezvous protocol.
+// dvx-analyze: shared-across-shards
 class MpiWorld {
  public:
   MpiWorld(sim::Engine& engine, std::unique_ptr<net::Interconnect> fabric,

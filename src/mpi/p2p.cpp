@@ -9,9 +9,12 @@
 
 #include "mpi/comm.hpp"
 
+#include "analyze/shard_access.hpp"
+
 namespace dvx::mpi {
 
 Request MpiWorld::start_send(int src, int dst, int tag, std::vector<std::uint64_t> data) {
+  DVX_SHARD_GUARDED("mpi.MpiWorld", -1);
   auto op = std::make_shared<Op>(engine_);
   const auto bytes =
       static_cast<std::int64_t>(data.size()) * 8 + params_.envelope_bytes;
@@ -52,6 +55,7 @@ Request MpiWorld::start_send(int src, int dst, int tag, std::vector<std::uint64_
 }
 
 Request MpiWorld::start_recv(int rank, int src, int tag) {
+  DVX_SHARD_GUARDED("mpi.MpiWorld", -1);
   auto op = std::make_shared<Op>(engine_);
   auto& ep = endpoints_[static_cast<std::size_t>(rank)];
 
@@ -78,6 +82,9 @@ Request MpiWorld::start_recv(int rank, int src, int tag) {
 }
 
 void MpiWorld::deliver_eager(int dst, Message msg) {
+  // Runs as a DES event at the arrival time — this is where cross-shard
+  // aliasing on the endpoint tables would actually bite, so it records too.
+  DVX_SHARD_ACCESS("mpi.MpiWorld", -1, kWrite);
   auto& ep = endpoints_[static_cast<std::size_t>(dst)];
   for (auto it = ep.posted.begin(); it != ep.posted.end(); ++it) {
     if (matches(it->src, it->tag, msg.src, msg.tag)) {
@@ -92,6 +99,7 @@ void MpiWorld::deliver_eager(int dst, Message msg) {
 }
 
 void MpiWorld::handle_rts(int dst, Rts rts) {
+  DVX_SHARD_ACCESS("mpi.MpiWorld", -1, kWrite);
   auto& ep = endpoints_[static_cast<std::size_t>(dst)];
   for (auto it = ep.posted.begin(); it != ep.posted.end(); ++it) {
     if (matches(it->src, it->tag, rts.src, rts.tag)) {

@@ -108,6 +108,22 @@ class TraceCapture {
   std::size_t first_message_;
 };
 
+// Shard count stays 1 for cluster runs: the fabric models are shared
+// mutable state, and partitioning them per shard is the staged follow-up
+// (DESIGN.md §12; `dvx_analyze` enumerates the blockers). The window
+// parameters are still configured — threads (explicit config, else
+// DVX_ENGINE_THREADS / set_default_engine_threads) and the physical
+// lookahead bound — so the sharded path lights up for any workload that
+// opts into shards > 1, and so the bound is recorded in metrics for
+// every run.
+void configure_single_shard(sim::Engine& engine, const ClusterConfig& config,
+                            sim::Duration lookahead) {
+  const int threads =
+      config.engine_threads > 0 ? config.engine_threads : default_engine_threads();
+  engine.configure_sharding(
+      {.shards = 1, .threads = threads, .lookahead = lookahead});
+}
+
 }  // namespace
 
 RunResult Cluster::run_dv(const DvProgram& program) {
@@ -115,16 +131,7 @@ RunResult Cluster::run_dv(const DvProgram& program) {
   TraceCapture capture(tracer_);
   sim::Engine engine;
   vic::DvFabric fabric(engine, config_.nodes, config_.dv);
-  // Shard count stays 1 for cluster runs: the fabric models are shared
-  // mutable state, and partitioning them per shard is the staged follow-up
-  // (DESIGN.md §12). The window parameters are still configured — threads
-  // and the physical lookahead bound — so the sharded path lights up for
-  // any workload that opts into shards > 1, and so the bound is recorded
-  // in metrics for every run.
-  const int threads =
-      config_.engine_threads > 0 ? config_.engine_threads : default_engine_threads();
-  engine.configure_sharding(
-      {.shards = 1, .threads = threads, .lookahead = fabric.min_remote_latency()});
+  configure_single_shard(engine, config_, fabric.min_remote_latency());
   CostModel cost(config_.cost);
   std::deque<dvapi::DvContext> dv_ctxs;
   std::deque<NodeCtx> node_ctxs;
@@ -154,12 +161,8 @@ RunResult Cluster::run_mpi(const MpiProgram& program) {
       fabric = std::make_unique<torus::Fabric>(config_.nodes, config_.torus);
       break;
   }
-  // Same single-shard configuration as run_dv; see the comment there. The
-  // lookahead comes from the interconnect's own conservative bound.
-  const int threads =
-      config_.engine_threads > 0 ? config_.engine_threads : default_engine_threads();
-  engine.configure_sharding(
-      {.shards = 1, .threads = threads, .lookahead = fabric->lookahead()});
+  // The lookahead comes from the interconnect's own conservative bound.
+  configure_single_shard(engine, config_, fabric->lookahead());
   mpi::MpiWorld world(engine, std::move(fabric), config_.nodes, config_.mpi,
                       capture.tracer_or_null());
   CostModel cost(config_.cost);

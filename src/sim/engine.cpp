@@ -17,7 +17,15 @@ namespace {
 // windows; the engine pointer disambiguates nested/foreign engines.
 thread_local const Engine* tls_engine = nullptr;
 thread_local int tls_shard = -1;
+// The lookahead-window index published to analyze:: instrumentation while a
+// shard window dispatches. Stays 0 in serial mode: one ordering domain has
+// no cross-shard windows to attribute accesses to.
+thread_local std::uint64_t tls_window = 0;
 }  // namespace
+
+int Engine::current_shard() noexcept { return tls_shard; }
+
+std::uint64_t Engine::current_window() noexcept { return tls_window; }
 
 Engine::Engine() : audit_interval_(check::default_audit_interval()) {
   shards_.resize(1);
@@ -350,6 +358,9 @@ void Engine::run_shard_window(int shard, Time window_end) {
   Shard& s = shards_[static_cast<std::size_t>(shard)];
   tls_engine = this;
   tls_shard = shard;
+  // window_seq_ was advanced by the coordinator before the phase-A barrier,
+  // so this read is ordered and every shard of one window sees the same id.
+  tls_window = window_seq_;
   try {
     while (s.heap.size() > kHeapPad && s.heap[kHeapPad].t < window_end) {
       dispatch_one(s);
@@ -359,6 +370,7 @@ void Engine::run_shard_window(int shard, Time window_end) {
   }
   tls_engine = nullptr;
   tls_shard = -1;
+  tls_window = 0;
 }
 
 void Engine::rethrow_shard_failure() {
@@ -443,6 +455,7 @@ Time Engine::run_sharded() {
       const Time t0 = next_window_floor();
       if (t0 < 0) break;
       window_end_ = t0 + sharding_.lookahead;
+      ++window_seq_;
       now_ = std::max(now_, t0);
       for (int i = 0; i < nshards; ++i) run_shard_window(i, window_end_);
       after_window();
@@ -474,6 +487,7 @@ Time Engine::run_sharded() {
     const Time t0 = next_window_floor();
     if (t0 < 0) break;
     window_end_ = t0 + sharding_.lookahead;
+    ++window_seq_;
     window_end_shared = window_end_;
     now_ = std::max(now_, t0);
     window_barrier.arrive_and_wait();  // phase A

@@ -120,6 +120,18 @@ class Engine {
   /// Number of audit sweeps performed (each sweep visits every auditor).
   std::uint64_t audits_run() const noexcept { return audits_run_; }
 
+  /// The shard the calling thread is currently dispatching for, or -1 when
+  /// the thread is outside engine dispatch. Static (thread-identity, not
+  /// engine-identity) so instrumentation points deep inside the network
+  /// models (analyze::ShardAccessRecorder) can attribute an access without
+  /// holding an Engine reference.
+  static int current_shard() noexcept;
+
+  /// Monotone index of the lookahead window the calling thread is currently
+  /// dispatching. 0 outside dispatch and in serial (shards == 1) mode —
+  /// there a single ordering domain makes window attribution meaningless.
+  static std::uint64_t current_window() noexcept;
+
   /// Awaitable: suspend the current coroutine for `d` of virtual time.
   auto delay(Duration d) {
     struct Awaiter {
@@ -252,6 +264,7 @@ class Engine {
 
   Time now_ = 0;             ///< engine-wide clock (window floor when sharded)
   Time window_end_ = 0;      ///< exclusive bound of the executing window
+  std::uint64_t window_seq_ = 0;  ///< windows opened (sharded mode; monotone)
   ShardingConfig sharding_{};
   std::vector<Shard> shards_;  ///< always >= 1; shard 0 is the serial heap
   std::deque<Root> roots_;     // deque: &done must stay stable

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "analyze/shard_access.hpp"
 #include "check/check.hpp"
 #include "obs/collector.hpp"
 
@@ -58,6 +59,7 @@ Fabric::Fabric(int nodes, TorusParams params) : nodes_(nodes), params_(params) {
 }
 
 void Fabric::reset() {
+  DVX_SHARD_GUARDED("torus.Fabric", -1);
   std::fill(link_free_.begin(), link_free_.end(), 0);
   std::fill(nic_gate_.begin(), nic_gate_.end(), 0);
   bytes_sent_ = 0;
@@ -122,6 +124,7 @@ void Fabric::build_path(int src, int dst, std::vector<std::size_t>& path) const 
 
 MsgTiming Fabric::send_message(int src, int dst, std::int64_t bytes,
                                sim::Time ready) {
+  DVX_SHARD_GUARDED("torus.Fabric", -1);
   if (src < 0 || src >= nodes_ || dst < 0 || dst >= nodes_) {
     throw std::out_of_range("torus::Fabric::send_message: node out of range");
   }

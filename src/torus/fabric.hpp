@@ -46,6 +46,7 @@ struct TorusParams {
 
 using MsgTiming = net::MsgTiming;
 
+// dvx-analyze: shared-across-shards
 class Fabric final : public net::Interconnect {
  public:
   explicit Fabric(int nodes, TorusParams params = {});

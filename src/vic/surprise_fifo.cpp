@@ -3,13 +3,14 @@
 #include <stdexcept>
 #include <string>
 
+#include "analyze/shard_access.hpp"
 #include "check/check.hpp"
 #include "obs/collector.hpp"
 
 namespace dvx::vic {
 
 SurpriseFifo::SurpriseFifo(sim::Engine& engine, std::size_t capacity, int node)
-    : engine_(engine), cond_(engine), capacity_(capacity) {
+    : engine_(engine), cond_(engine), node_(node), capacity_(capacity) {
   if (capacity == 0) throw std::invalid_argument("SurpriseFifo: zero capacity");
   if (obs::Registry* m = obs::metrics()) {
     const obs::Labels labels{{"node", std::to_string(node)}};
@@ -20,6 +21,7 @@ SurpriseFifo::SurpriseFifo(sim::Engine& engine, std::size_t capacity, int node)
 }
 
 void SurpriseFifo::deposit(sim::Time at, Packet p) {
+  DVX_SHARD_GUARDED("vic.SurpriseFifo", node_);
   if (heap_.size() >= capacity_) {
     ++dropped_;
     if (obs_dropped_ != nullptr) obs_dropped_->inc();
@@ -36,6 +38,7 @@ void SurpriseFifo::deposit(sim::Time at, Packet p) {
 }
 
 std::vector<Packet> SurpriseFifo::poll() {
+  DVX_SHARD_GUARDED("vic.SurpriseFifo", node_);
   std::vector<Packet> out;
   while (!heap_.empty() && heap_.top().at <= engine_.now()) {
     out.push_back(heap_.top().packet);
@@ -50,6 +53,7 @@ std::vector<Packet> SurpriseFifo::poll() {
 }
 
 bool SurpriseFifo::ready() const {
+  DVX_SHARD_ACCESS("vic.SurpriseFifo", node_, kRead);
   return !heap_.empty() && heap_.top().at <= engine_.now();
 }
 

@@ -4,6 +4,7 @@
 #include <bit>
 #include <stdexcept>
 
+#include "analyze/shard_access.hpp"
 #include "check/check.hpp"
 
 namespace dvx::vic {
@@ -20,6 +21,7 @@ Vic::Vic(sim::Engine& engine, DvFabric& fabric, int id, const VicParams& params)
       dma_up_(pcie_, PcieDir::kVicToHost, id) {}
 
 void Vic::deliver(const Packet& p, sim::Time arrival) {
+  DVX_SHARD_GUARDED("vic.Vic", id_);
   const check::ScopedNode check_node(id_);
   DVX_CHECK(static_cast<int>(p.header.dst_vic) == id_)
       << "packet for VIC " << p.header.dst_vic << " delivered to VIC " << id_;
@@ -71,6 +73,7 @@ DvFabric::DvFabric(sim::Engine& engine, int nodes, DvFabricParams params)
 DvFabric::~DvFabric() { engine_.remove_auditor(this); }
 
 void DvFabric::audit(std::int64_t now_ps) {
+  DVX_SHARD_ACCESS("vic.DvFabric", -1, kRead);
   (void)now_ps;
   DVX_CHECK(barrier_arrived_ >= 0 && barrier_arrived_ < nodes())
       << "intrinsic barrier arrival count out of range: " << barrier_arrived_;
@@ -85,6 +88,7 @@ void DvFabric::audit(std::int64_t now_ps) {
 
 dvnet::BurstTiming DvFabric::transmit(int src, std::span<const Packet> packets,
                                       sim::Time ready) {
+  DVX_SHARD_GUARDED("vic.DvFabric", -1);
   if (packets.empty()) return dvnet::BurstTiming{ready, ready};
   dvnet::BurstTiming whole{0, 0};
   bool first_run = true;
@@ -118,6 +122,7 @@ dvnet::BurstTiming DvFabric::transmit(int src, std::span<const Packet> packets,
 }
 
 sim::Coro<void> DvFabric::intrinsic_barrier(int rank) {
+  DVX_SHARD_GUARDED("vic.DvFabric", -1);
   (void)rank;  // every VIC participates exactly once per phase
   const std::uint64_t my_phase = barrier_phase_;
   // Barrier-epoch sanity: arrivals never exceed the party count within one

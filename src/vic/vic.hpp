@@ -41,6 +41,7 @@ struct VicParams {
 
 class DvFabric;
 
+// dvx-analyze: shared-across-shards
 class Vic {
  public:
   Vic(sim::Engine& engine, DvFabric& fabric, int id, const VicParams& params);
@@ -79,6 +80,7 @@ struct DvFabricParams {
 };
 
 /// The whole Data Vortex side of the cluster: one switch + N VICs.
+// dvx-analyze: shared-across-shards
 class DvFabric : public check::InvariantAuditor {
  public:
   DvFabric(sim::Engine& engine, int nodes, DvFabricParams params = {});

@@ -467,7 +467,7 @@ TEST(CycleSwitchPerf, DeepPerPortBacklogDrainsInBoundedTime) {
   const int ports = sw.geometry().ports();
   sim::Xoshiro256 rng(11);
   constexpr int kPerPort = 1 << 15;
-  const auto host_start = std::chrono::steady_clock::now();  // det-lint: allow(system_clock)
+  const auto host_start = std::chrono::steady_clock::now();  // det-lint: allow(system_clock) -- host-time drain bound only
   for (int i = 0; i < kPerPort; ++i) {
     for (int p = 0; p < 2; ++p) {
       sw.inject(p, static_cast<int>(rng.below(static_cast<std::uint64_t>(ports))));
@@ -476,7 +476,7 @@ TEST(CycleSwitchPerf, DeepPerPortBacklogDrainsInBoundedTime) {
   EXPECT_EQ(sw.queued(), static_cast<std::size_t>(2 * kPerPort));
   ASSERT_TRUE(sw.drain(500'000)) << "deep backlog failed to drain";
   const double host_seconds =
-      std::chrono::duration<double>(std::chrono::steady_clock::now() -  // det-lint: allow(system_clock)
+      std::chrono::duration<double>(std::chrono::steady_clock::now() -  // det-lint: allow(system_clock) -- host-time drain bound only
                                     host_start)
           .count();
   EXPECT_EQ(sw.queued(), 0u);

@@ -1,0 +1,13 @@
+import pathlib
+import sys
+
+if __package__ in (None, ""):
+    # Directory execution (`python3 tools/dvx_analyze`): no package context,
+    # so import ourselves absolutely from the parent directory.
+    sys.path.insert(0, str(pathlib.Path(__file__).resolve().parent.parent))
+    from dvx_analyze.cli import main
+else:
+    from .cli import main
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

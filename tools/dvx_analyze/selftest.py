@@ -1,0 +1,332 @@
+#!/usr/bin/env python3
+"""Self-test for the dvx_analyze tokenizer and rule engine.
+
+Plain python3 — no pytest in the build image. Each case builds a throwaway
+tree under a tempdir, runs the engine over it, and asserts on the findings.
+Run directly (`python3 tools/dvx_analyze/selftest.py`) or via the
+`dvx_analyze_selftest` ctest. Exit status: 0 pass, 1 fail.
+"""
+
+from __future__ import annotations
+
+import pathlib
+import sys
+import tempfile
+import traceback
+
+sys.path.insert(0, str(pathlib.Path(__file__).resolve().parent.parent))
+
+from dvx_analyze import cli, rules, tokenizer  # noqa: E402
+
+_RULES_TOML = pathlib.Path(__file__).resolve().parent / "rules.toml"
+
+_CASES = []
+
+
+def case(fn):
+    _CASES.append(fn)
+    return fn
+
+
+def _run_tree(tmp: pathlib.Path, files: dict[str, str],
+              groups: list[str]) -> rules.Context:
+    for rel, body in files.items():
+        p = tmp / rel
+        p.parent.mkdir(parents=True, exist_ok=True)
+        p.write_text(body, encoding="utf-8")
+    roots = sorted({str(tmp / pathlib.Path(rel).parts[0]) for rel in files})
+    return cli.run(roots, groups, _RULES_TOML, tmp)
+
+
+def _rules_of(ctx: rules.Context) -> list[str]:
+    return [f.rule for f in ctx.findings]
+
+
+# --------------------------------------------------------------------------
+# tokenizer
+# --------------------------------------------------------------------------
+
+@case
+def tokenizer_strips_comments_and_strings():
+    stripped, comments = tokenizer.strip_lines([
+        'int x = 1; // trailing rand( note',
+        'const char* s = "rand( inside string // not a comment";',
+        '/* block rand( */ int y = 2; /* open',
+        'still comment */ int z = 3;',
+    ])
+    assert "rand(" not in "\n".join(stripped), stripped
+    assert "int x = 1;" in stripped[0]
+    assert "int y = 2;" in stripped[2]
+    assert "int z = 3;" in stripped[3]
+    assert "trailing rand( note" in comments[1]
+    assert 2 not in comments, comments  # the // lived inside a string
+    assert "block rand(" in comments[3]
+    # Columns preserved: 'int z' sits after the blanked comment tail.
+    assert stripped[3].index("int z") == 17, stripped[3]
+
+
+@case
+def tokenizer_finds_classes_methods_and_annotation():
+    stripped, comments = tokenizer.strip_lines([
+        "// dvx-analyze: shared-across-shards",
+        "class Widget {",
+        " public:",
+        "  void poke() { state_ += 1; }",
+        "  int peek() const;",
+        " private:",
+        "  int state_ = 0;",
+        "};",
+        "struct Plain { void go() {} };",
+    ])
+    classes = tokenizer._collect_classes(
+        stripped, comments, "dvx-analyze: shared-across-shards")
+    assert [c.name for c in classes] == ["Widget", "Plain"], classes
+    widget, plain = classes
+    assert widget.annotated and not plain.annotated
+    byname = {m.name: m for m in widget.methods}
+    assert byname["poke"].access == "public" and byname["poke"].body
+    assert byname["peek"].body is None
+    assert "state_ += 1" in byname["poke"].body
+    assert plain.methods[0].access == "public"  # struct default
+
+
+@case
+def tokenizer_out_of_line_definitions():
+    raw = [
+        "#include \"widget.hpp\"",
+        "void Widget::poke() {",
+        "  state_ += 1;",
+        "}",
+        "int Widget::peek() const { return state_; }",
+    ]
+    stripped, comments = tokenizer.strip_lines(raw)
+    scan = tokenizer.FileScan(pathlib.Path("w.cpp"), raw, stripped,
+                              comments, [], [])
+    defs = tokenizer.out_of_line_definitions(scan)
+    assert [(d.class_name, d.method, d.line) for d in defs] == \
+        [("Widget", "poke", 2), ("Widget", "peek", 5)], defs
+    assert "state_ += 1" in defs[0].body
+
+
+# --------------------------------------------------------------------------
+# layering
+# --------------------------------------------------------------------------
+
+@case
+def layering_forbidden_include_caught():
+    with tempfile.TemporaryDirectory() as d:
+        tmp = pathlib.Path(d)
+        ctx = _run_tree(tmp, {
+            "src/mpi/comm.cpp": '#include "ib/topology.hpp"\nint x;\n',
+        }, ["layering"])
+        assert _rules_of(ctx) == ["layering"], ctx.findings
+        f = ctx.findings[0]
+        assert f.line == 1 and "must never include" in f.message, f
+
+
+@case
+def layering_unreachable_vs_allowed():
+    with tempfile.TemporaryDirectory() as d:
+        tmp = pathlib.Path(d)
+        ctx = _run_tree(tmp, {
+            # sim -> vic: not reachable (and forbidden); sim -> check: fine.
+            "src/sim/engine.cpp":
+                '#include "vic/vic.hpp"\n#include "check/check.hpp"\n',
+            # tests/ are exempt from layering entirely.
+            "tests/test_x.cpp": '#include "ib/topology.hpp"\n',
+        }, ["layering"])
+        assert len(ctx.findings) == 1, ctx.findings
+        assert ctx.findings[0].path == "src/sim/engine.cpp"
+
+
+@case
+def layering_suppression_honored():
+    with tempfile.TemporaryDirectory() as d:
+        tmp = pathlib.Path(d)
+        ctx = _run_tree(tmp, {
+            "src/net/bridge.hpp":
+                "// dvx-analyze: allow(layering) -- transitional shim, torn"
+                " out with PR 9\n"
+                '#include "mpi/comm.hpp"\n',
+        }, ["layering"])
+        assert not ctx.findings, ctx.findings
+        assert len(ctx.suppressions) == 1
+        assert ctx.suppressions[0].justification.startswith("transitional")
+
+
+# --------------------------------------------------------------------------
+# shard-safety
+# --------------------------------------------------------------------------
+
+_ANNOT = "// dvx-analyze: shared-across-shards\n"
+
+_GUARDED_CLASS = _ANNOT + """\
+class Box {
+ public:
+  void put(int v) {
+    DVX_SHARD_GUARDED("x.Box", -1);
+    items_.push_back(v);
+  }
+  int size() const { return n_; }
+ private:
+  void grow() { items_.resize(n_ * 2); }
+  std::vector<int> items_;
+  int n_ = 0;
+};
+"""
+
+_UNGUARDED_CLASS = _ANNOT + """\
+class Box {
+ public:
+  void put(int v) { items_.push_back(v); }
+ private:
+  std::vector<int> items_;
+};
+"""
+
+
+@case
+def shard_safety_unguarded_mutation_caught():
+    with tempfile.TemporaryDirectory() as d:
+        tmp = pathlib.Path(d)
+        ctx = _run_tree(tmp, {"src/vic/box.hpp": _UNGUARDED_CLASS},
+                        ["shard-safety"])
+        assert _rules_of(ctx) == ["shard-safety"], ctx.findings
+        assert "'Box::put'" in ctx.findings[0].message
+
+
+@case
+def shard_safety_guarded_and_private_clean():
+    with tempfile.TemporaryDirectory() as d:
+        tmp = pathlib.Path(d)
+        ctx = _run_tree(tmp, {"src/vic/box.hpp": _GUARDED_CLASS},
+                        ["shard-safety"])
+        # put() is guarded, size() is const, grow() is private: all clean.
+        assert not ctx.findings, ctx.findings
+
+
+@case
+def shard_safety_unannotated_class_exempt():
+    with tempfile.TemporaryDirectory() as d:
+        tmp = pathlib.Path(d)
+        ctx = _run_tree(tmp, {
+            "src/vic/box.hpp": _UNGUARDED_CLASS.replace(_ANNOT, ""),
+        }, ["shard-safety"])
+        assert not ctx.findings, ctx.findings
+
+
+@case
+def shard_safety_out_of_line_definition_caught():
+    with tempfile.TemporaryDirectory() as d:
+        tmp = pathlib.Path(d)
+        ctx = _run_tree(tmp, {
+            "src/vic/box.hpp": _ANNOT + (
+                "class Box {\n"
+                " public:\n"
+                "  void put(int v);\n"
+                " private:\n"
+                "  int n_ = 0;\n"
+                "};\n"),
+            "src/vic/box.cpp":
+                '#include "vic/box.hpp"\n'
+                "void Box::put(int v) { n_ = v; }\n",
+        }, ["shard-safety"])
+        assert _rules_of(ctx) == ["shard-safety"], ctx.findings
+        assert ctx.findings[0].path == "src/vic/box.cpp"
+
+
+@case
+def shard_safety_suppression_needs_justification():
+    suppressed = _UNGUARDED_CLASS.replace(
+        "  void put(int v)",
+        "  // dvx-analyze: allow(shard-safety) -- config-time only\n"
+        "  void put(int v)")
+    bare = _UNGUARDED_CLASS.replace(
+        "  void put(int v)",
+        "  // dvx-analyze: allow(shard-safety)\n"
+        "  void put(int v)")
+    with tempfile.TemporaryDirectory() as d:
+        tmp = pathlib.Path(d)
+        ctx = _run_tree(tmp, {"src/vic/box.hpp": suppressed}, ["shard-safety"])
+        assert not ctx.findings and len(ctx.suppressions) == 1, ctx.findings
+    with tempfile.TemporaryDirectory() as d:
+        tmp = pathlib.Path(d)
+        ctx = _run_tree(tmp, {"src/vic/box.hpp": bare}, ["shard-safety"])
+        # Bare allow: both the original finding AND the bare-suppression one.
+        got = sorted(_rules_of(ctx))
+        assert got == ["shard-safety", "shard-safety"], ctx.findings
+        assert any("without a justification" in f.message
+                   for f in ctx.findings), ctx.findings
+
+
+# --------------------------------------------------------------------------
+# determinism (folded det-lint) + report-determinism
+# --------------------------------------------------------------------------
+
+@case
+def determinism_banned_token_and_allow():
+    with tempfile.TemporaryDirectory() as d:
+        tmp = pathlib.Path(d)
+        ctx = _run_tree(tmp, {
+            "src/sim/bad.cpp":
+                "int a = rand();\n"
+                "auto t0 = std::chrono::steady_clock::now();"
+                "  // det-lint: allow(system_clock) -- host progress only\n"
+                "// rand( in a comment is fine\n",
+        }, ["determinism"])
+        assert _rules_of(ctx) == ["determinism"], ctx.findings
+        assert "'rand('" in ctx.findings[0].message
+        assert len(ctx.suppressions) == 1
+
+
+@case
+def report_determinism_range_for_caught():
+    with tempfile.TemporaryDirectory() as d:
+        tmp = pathlib.Path(d)
+        ctx = _run_tree(tmp, {
+            "src/obs/agg.cpp":
+                "std::unordered_map<int, int> hist;  "
+                "// det-lint: allow(std::unordered_*) -- sorted before emit\n"
+                "void emit() {\n"
+                "  for (const auto& kv : hist) { use(kv); }\n"
+                "}\n",
+        }, ["report-determinism"])
+        assert _rules_of(ctx) == ["report-determinism"], ctx.findings
+        assert "'hist'" in ctx.findings[0].message
+
+
+@case
+def findings_sorted_and_deterministic():
+    files = {
+        "src/sim/b.cpp": "int a = rand();\nint b = rand();\n",
+        "src/sim/a.cpp": "int c = rand();\n",
+    }
+    with tempfile.TemporaryDirectory() as d:
+        tmp = pathlib.Path(d)
+        ctx1 = _run_tree(tmp, files, ["determinism"])
+        texts1 = [f.text() for f in ctx1.findings]
+    with tempfile.TemporaryDirectory() as d:
+        tmp = pathlib.Path(d)
+        ctx2 = _run_tree(tmp, files, ["determinism"])
+        texts2 = [f.text() for f in ctx2.findings]
+    assert texts1 == texts2, (texts1, texts2)
+    assert [f.path for f in ctx1.findings] == \
+        ["src/sim/a.cpp", "src/sim/b.cpp", "src/sim/b.cpp"]
+
+
+def main() -> int:
+    failures = 0
+    for fn in _CASES:
+        try:
+            fn()
+            print(f"  PASS {fn.__name__}")
+        except Exception:
+            failures += 1
+            print(f"  FAIL {fn.__name__}")
+            traceback.print_exc()
+    print(f"dvx_analyze selftest: {len(_CASES) - failures}/{len(_CASES)} passed")
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

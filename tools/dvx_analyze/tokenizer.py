@@ -1,0 +1,300 @@
+"""Lightweight C++ tokenizer for the dvx_analyze rule engine.
+
+Deliberately not a parser (no libclang in the build image, and the repo's
+style is regular enough): it strips comments/strings column-preservingly,
+extracts #include directives, and recovers just enough class structure —
+annotated classes, access regions, public method heads, inline and
+out-of-line bodies — for the shard-safety rule. Anything it cannot parse it
+skips silently rather than mis-reporting; the dynamic recorder is the
+backstop for what static heuristics miss.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import pathlib
+import re
+
+_INCLUDE_RE = re.compile(r'^\s*#\s*include\s*"([^"]+)"')
+
+
+@dataclasses.dataclass
+class Include:
+    line: int  # 1-based
+    col: int  # 1-based
+    target: str  # the quoted path as written
+
+
+@dataclasses.dataclass
+class Method:
+    name: str
+    line: int  # 1-based line of the method head
+    access: str  # "public" | "protected" | "private"
+    body: str | None  # stripped inline body text, None for declarations
+    body_line: int  # 1-based line where the body starts (== line if none)
+
+
+@dataclasses.dataclass
+class ClassInfo:
+    name: str
+    line: int  # 1-based line of the class head
+    annotated: bool
+    methods: list[Method]
+
+    def public_methods(self) -> set[str]:
+        return {m.name for m in self.methods if m.access == "public"}
+
+
+@dataclasses.dataclass
+class FileScan:
+    path: pathlib.Path
+    raw_lines: list[str]
+    stripped: list[str]  # comments/strings blanked, columns preserved
+    comments: dict[int, str]  # 1-based line -> comment text on that line
+    includes: list[Include]
+    classes: list[ClassInfo]
+
+    def stripped_text(self) -> str:
+        return "\n".join(self.stripped)
+
+    def line_of_offset(self, offset: int) -> tuple[int, int]:
+        """(line, col), both 1-based, for an offset into stripped_text()."""
+        upto = self.stripped_text()[:offset]
+        line = upto.count("\n") + 1
+        col = offset - (upto.rfind("\n") + 1) + 1
+        return line, col
+
+
+_STRING_RE = re.compile(r'"(?:\\.|[^"\\])*"|\'(?:\\.|[^\'\\])*\'')
+
+
+def strip_lines(raw_lines: list[str]) -> tuple[list[str], dict[int, str]]:
+    """Blanks comments and string/char literals, preserving columns.
+
+    Returns (stripped_lines, comments) where comments maps a 1-based line
+    number to the concatenated comment text appearing on it (line comments
+    and block comments; multi-line block comment interiors are recorded
+    line by line).
+    """
+    stripped: list[str] = []
+    comments: dict[int, str] = {}
+    in_block = False
+    for lineno, raw in enumerate(raw_lines, start=1):
+        line = raw
+        if in_block:
+            end = line.find("*/")
+            if end < 0:
+                comments[lineno] = comments.get(lineno, "") + line
+                stripped.append(" " * len(line))
+                continue
+            comments[lineno] = comments.get(lineno, "") + line[:end]
+            line = " " * (end + 2) + line[end + 2 :]
+            in_block = False
+        # Blank string/char literals first so a "//" inside one is inert,
+        # then walk the comment markers left to right.
+        code = list(_STRING_RE.sub(lambda m: " " * len(m.group(0)), line))
+        i = 0
+        while i < len(code) - 1:
+            two = code[i] + code[i + 1]
+            if two == "//":
+                comments[lineno] = comments.get(lineno, "") + line[i + 2 :]
+                for k in range(i, len(code)):
+                    code[k] = " "
+                break
+            if two == "/*":
+                end = "".join(code).find("*/", i + 2)
+                if end < 0:
+                    comments[lineno] = comments.get(lineno, "") + line[i + 2 :]
+                    for k in range(i, len(code)):
+                        code[k] = " "
+                    in_block = True
+                    break
+                comments[lineno] = comments.get(lineno, "") + line[i + 2 : end]
+                for k in range(i, end + 2):
+                    code[k] = " "
+                i = end + 2
+                continue
+            i += 1
+        stripped.append("".join(code))
+    return stripped, comments
+
+
+_CLASS_RE = re.compile(r"\b(?:class|struct)\s+([A-Za-z_]\w*)")
+_ACCESS_RE = re.compile(r"\b(public|protected|private)\s*:")
+_METHOD_RE = re.compile(r"(~?[A-Za-z_]\w*)\s*\(")
+
+# Keywords a _METHOD_RE hit can never be (control flow, declarators).
+_NOT_METHODS = {
+    "if", "for", "while", "switch", "return", "sizeof", "alignof", "catch",
+    "static_assert", "decltype", "noexcept", "throw", "alignas", "new",
+    "delete", "co_await", "co_return", "co_yield", "assert", "defined",
+}
+
+
+def _match_brace(text: str, open_idx: int) -> int:
+    """Index just past the brace matching text[open_idx] == '{' (-1: none)."""
+    depth = 0
+    for i in range(open_idx, len(text)):
+        c = text[i]
+        if c == "{":
+            depth += 1
+        elif c == "}":
+            depth -= 1
+            if depth == 0:
+                return i + 1
+    return -1
+
+
+def _parse_class_body(
+    scan_text: str, body_start: int, body_end: int, default_access: str,
+    line_of, out: list[Method],
+) -> None:
+    """Walks one class body (between braces), collecting depth-1 methods."""
+    access = default_access
+    i = body_start
+    while i < body_end:
+        c = scan_text[i]
+        if c == "{":  # nested aggregate init / member class we did not claim
+            end = _match_brace(scan_text, i)
+            i = end if end > 0 else i + 1
+            continue
+        am = _ACCESS_RE.match(scan_text, i)
+        if am is not None:
+            access = am.group(1)
+            i = am.end()
+            continue
+        mm = _METHOD_RE.match(scan_text, i)
+        if mm is not None and mm.group(1) not in _NOT_METHODS:
+            # Require the identifier to start a token (not `foo.bar(`).
+            prev = scan_text[i - 1] if i > 0 else " "
+            if prev.isalnum() or prev in "_.:>":
+                i += 1
+                continue
+            name = mm.group(1)
+            close = _find_paren_close(scan_text, mm.end() - 1)
+            if close < 0:
+                i = mm.end()
+                continue
+            head_line, _ = line_of(i)
+            # Scan the trailer for `{` (definition), `;` (declaration) or
+            # `=` (deleted/defaulted/pure) — whichever comes first.
+            j = close
+            while j < body_end and scan_text[j] not in "{;=":
+                j += 1
+            if j < body_end and scan_text[j] == "{":
+                end = _match_brace(scan_text, j)
+                if end < 0:
+                    i = j + 1
+                    continue
+                body_line, _ = line_of(j)
+                out.append(Method(name, head_line, access,
+                                  scan_text[j:end], body_line))
+                i = end
+                continue
+            out.append(Method(name, head_line, access, None, head_line))
+            i = j + 1
+            continue
+        i += 1
+
+
+def _find_paren_close(text: str, open_idx: int) -> int:
+    depth = 0
+    for i in range(open_idx, len(text)):
+        c = text[i]
+        if c == "(":
+            depth += 1
+        elif c == ")":
+            depth -= 1
+            if depth == 0:
+                return i + 1
+    return -1
+
+
+def _collect_classes(
+    stripped: list[str], comments: dict[int, str], annotation: str,
+) -> list[ClassInfo]:
+    text = "\n".join(stripped)
+
+    # Precompute line starts for offset -> line translation.
+    line_starts = [0]
+    for line in stripped:
+        line_starts.append(line_starts[-1] + len(line) + 1)
+
+    def line_of(offset: int) -> tuple[int, int]:
+        lo, hi = 0, len(line_starts) - 1
+        while lo + 1 < hi:
+            mid = (lo + hi) // 2
+            if line_starts[mid] <= offset:
+                lo = mid
+            else:
+                hi = mid
+        return lo + 1, offset - line_starts[lo] + 1
+
+    annotated_lines = {ln for ln, c in comments.items() if annotation in c}
+
+    classes: list[ClassInfo] = []
+    for m in _CLASS_RE.finditer(text):
+        head_line, _ = line_of(m.start())
+        # Annotation binds to the class whose head is within two lines below
+        # it (allowing one doc-comment line in between).
+        annotated = any(head_line - 2 <= ln < head_line for ln in annotated_lines)
+        # Find the body opener; a `;` first means forward declaration.
+        k = m.end()
+        while k < len(text) and text[k] not in "{;":
+            k += 1
+        if k >= len(text) or text[k] == ";":
+            continue
+        end = _match_brace(text, k)
+        if end < 0:
+            continue
+        kind = text[m.start() : m.start() + 6]
+        default_access = "public" if kind.startswith("struct") else "private"
+        methods: list[Method] = []
+        _parse_class_body(text, k + 1, end - 1, default_access, line_of, methods)
+        classes.append(ClassInfo(m.group(1), head_line, annotated, methods))
+    return classes
+
+
+_OUT_OF_LINE_RE = re.compile(r"\b([A-Za-z_]\w*)::(~?[A-Za-z_]\w*)\s*\(")
+
+
+@dataclasses.dataclass
+class OutOfLineDef:
+    class_name: str
+    method: str
+    line: int  # 1-based line of the definition head
+    body: str  # stripped body text
+
+
+def out_of_line_definitions(scan: FileScan) -> list[OutOfLineDef]:
+    """`Ret Class::method(...) ... { body }` definitions in this file."""
+    text = scan.stripped_text()
+    out: list[OutOfLineDef] = []
+    for m in _OUT_OF_LINE_RE.finditer(text):
+        close = _find_paren_close(text, m.end() - 1)
+        if close < 0:
+            continue
+        j = close
+        while j < len(text) and text[j] not in "{;=":
+            j += 1
+        if j >= len(text) or text[j] != "{":
+            continue
+        end = _match_brace(text, j)
+        if end < 0:
+            continue
+        line, _ = scan.line_of_offset(m.start())
+        out.append(OutOfLineDef(m.group(1), m.group(2), line, text[j:end]))
+    return out
+
+
+def scan_file(path: pathlib.Path, annotation: str) -> FileScan:
+    raw = path.read_text(encoding="utf-8", errors="replace")
+    raw_lines = raw.splitlines()
+    stripped, comments = strip_lines(raw_lines)
+    includes = []
+    for lineno, line in enumerate(raw_lines, start=1):
+        im = _INCLUDE_RE.match(line)
+        if im is not None:
+            includes.append(Include(lineno, im.start(1), im.group(1)))
+    classes = _collect_classes(stripped, comments, annotation)
+    return FileScan(path, raw_lines, stripped, comments, includes, classes)

@@ -1,160 +1,26 @@
 #!/usr/bin/env python3
 """Ban nondeterminism sources from the simulator sources.
 
-The whole repo's value rests on bit-reproducible runs: the same seed must
-produce the same virtual-time trajectory and byte-identical BENCH_*.json
-documents on every host. This lint rejects constructs that silently break
-that promise:
-
-  * `rand(` / `srand(`          — C PRNG, global hidden state, impl-defined.
-  * `time(` / `clock(`          — wall-clock leaking into simulation logic.
-  * `std::random_device`        — hardware entropy, different every run.
-  * `std::chrono::system_clock` / `steady_clock` / `high_resolution_clock`
-                                — wall-clock time (only the bench driver may
-                                  measure host time, behind an allow tag).
-  * `std::unordered_map` / `std::unordered_set` / `std::unordered_multimap` /
-    `std::unordered_multiset`   — iteration order is implementation-defined;
-                                  any loop over one that feeds output or
-                                  floating-point accumulation is a
-                                  nondeterminism bug. Use std::map/std::set
-                                  or sort before iterating.
-
-A finding on a line containing `// det-lint: allow(<token>)` is accepted:
-the author is asserting the use cannot influence simulated behavior or any
-report (e.g. host-side wall-clock progress display in the bench driver).
-
-Exit status: 0 clean, 1 findings, 2 usage error. Findings print as
-`path:line:col: banned token '<token>': <reason>` so editors and CI
-annotate them directly.
+Since PR 8 this is a thin wrapper over the dvx_analyze rule engine
+(tools/dvx_analyze, `determinism` rule group): the ban table lives in
+tools/dvx_analyze/rules.toml and the engine's comment-aware tokenizer does
+the matching. The CLI contract is unchanged — same roots arguments (default
+`src tests`), same `// det-lint: allow(<token>) -- <justification>`
+suppression tags, same exit status (0 clean, 1 findings, 2 usage error),
+and findings still print as `path:line:col: banned token '<token>':
+<reason>` so editors, the `lint_determinism` ctest, and CI keep working
+without edits.
 """
 
 from __future__ import annotations
 
-import argparse
 import pathlib
-import re
 import sys
 
-# token -> (regex, reason)
-BANNED: dict[str, tuple[str, str]] = {
-    "rand(": (
-        r"(?<![\w:.])s?rand\s*\(",
-        "C PRNG with hidden global state; use sim::Xoshiro256 / SplitMix64",
-    ),
-    "time(": (
-        r"(?<![\w:.])time\s*\(\s*(?:NULL|nullptr|0|&|\))",
-        "wall-clock time in simulation logic; use sim::Engine::now()",
-    ),
-    "clock(": (
-        r"(?<![\w:.])clock\s*\(\s*\)",
-        "process CPU clock; use sim::Engine::now()",
-    ),
-    "std::random_device": (
-        r"std\s*::\s*random_device",
-        "hardware entropy is different every run; derive seeds via SplitMix64",
-    ),
-    "system_clock": (
-        r"std\s*::\s*chrono\s*::\s*(?:system_clock|steady_clock|high_resolution_clock)",
-        "host wall-clock; only host-side tooling may use it, behind an allow tag",
-    ),
-    "std::unordered_*": (
-        r"std\s*::\s*unordered_(?:map|set|multimap|multiset)\b",
-        "iteration order is implementation-defined and leaks into reports; "
-        "use std::map/std::set or sort before iterating",
-    ),
-}
+sys.path.insert(0, str(pathlib.Path(__file__).resolve().parent))
 
-ALLOW_RE = re.compile(r"//\s*det-lint:\s*allow\(([^)]*)\)")
-
-# Strings/comments generate false positives (e.g. this lint's own tables, or
-# a doc comment mentioning rand()). Strip them before matching, preserving
-# column positions by replacing with spaces.
-_STRIP_RE = re.compile(
-    r"""
-      //[^\n]*            # line comment
-    | /\*.*?\*/           # block comment (single line; multi handled by state)
-    | "(?:\\.|[^"\\])*"   # string literal
-    | '(?:\\.|[^'\\])*'   # char literal
-    """,
-    re.VERBOSE,
-)
-
-
-def _blank(match: re.Match[str]) -> str:
-    return " " * len(match.group(0))
-
-
-def scan_file(path: pathlib.Path) -> list[tuple[int, int, str, str]]:
-    """Returns (line, col, token, reason) findings for one file."""
-    findings: list[tuple[int, int, str, str]] = []
-    try:
-        text = path.read_text(encoding="utf-8", errors="replace")
-    except OSError as err:
-        print(f"error: cannot read {path}: {err}", file=sys.stderr)
-        return findings
-    in_block_comment = False
-    for lineno, raw in enumerate(text.splitlines(), start=1):
-        line = raw
-        if in_block_comment:
-            end = line.find("*/")
-            if end < 0:
-                continue
-            line = " " * (end + 2) + line[end + 2 :]
-            in_block_comment = False
-        allow = ALLOW_RE.search(raw)
-        allowed = {t.strip() for t in allow.group(1).split(",")} if allow else set()
-        code = _STRIP_RE.sub(_blank, line)
-        opener = code.find("/*")
-        if opener >= 0:  # unterminated block comment opens here
-            code = code[:opener]
-            in_block_comment = True
-        for token, (pattern, reason) in BANNED.items():
-            for m in re.finditer(pattern, code):
-                if token in allowed or "all" in allowed:
-                    continue
-                findings.append((lineno, m.start() + 1, token, reason))
-    return findings
-
-
-def main(argv: list[str]) -> int:
-    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
-    parser.add_argument(
-        "roots",
-        nargs="*",
-        default=["src", "tests"],
-        help="files or directories to scan (default: src tests)",
-    )
-    args = parser.parse_args(argv)
-
-    files: list[pathlib.Path] = []
-    for root in args.roots:
-        p = pathlib.Path(root)
-        if p.is_file():
-            files.append(p)
-        elif p.is_dir():
-            files.extend(
-                f
-                for ext in (".hpp", ".cpp", ".h", ".cc")
-                for f in sorted(p.rglob(f"*{ext}"))
-            )
-        else:
-            print(f"error: no such file or directory: {root}", file=sys.stderr)
-            return 2
-
-    total = 0
-    for f in sorted(set(files)):
-        for lineno, col, token, reason in scan_file(f):
-            print(f"{f}:{lineno}:{col}: banned token '{token}': {reason}")
-            total += 1
-    if total:
-        print(
-            f"\ndet-lint: {total} finding(s). Suppress a justified use with "
-            "`// det-lint: allow(<token>)` on the same line.",
-            file=sys.stderr,
-        )
-        return 1
-    return 0
-
+from dvx_analyze.cli import main  # noqa: E402
 
 if __name__ == "__main__":
-    sys.exit(main(sys.argv[1:]))
+    argv = sys.argv[1:] or ["src", "tests"]
+    sys.exit(main(["--rule", "determinism", *argv], legacy_det_lint=True))
