@@ -13,6 +13,9 @@
 //     queues, saturated occupancy, then the sparse drain tail.
 //   * fabric_burst            — analytic FabricModel bursts/s.
 //   * fabric_torus            — 3D-torus timing model messages/s.
+//   * arrival_storm           — serving-layer arrival generation + token
+//     bucket admission (requests/s): the host-side cost of planning an
+//     open-loop multi-tenant serving point (dvx::serve, DESIGN.md §14).
 //
 // These are wall-clock measurements of the *simulator* (the one place host
 // time is allowed); the measured work is fully deterministic (fixed seeds,
@@ -36,6 +39,8 @@
 #include "dvnet/cycle_switch.hpp"
 #include "dvnet/fabric_model.hpp"
 #include "runtime/report.hpp"
+#include "serve/admission.hpp"
+#include "serve/arrival.hpp"
 #include "sim/engine.hpp"
 #include "sim/rng.hpp"
 #include "torus/fabric.hpp"
@@ -217,6 +222,46 @@ BenchResult engine_parallel_storm() {
   return {"engine_parallel_storm", "events/s", work, s, work / s};
 }
 
+/// Serving-layer arrival planning throughput: generate the canonical
+/// multi-tenant trace for a large open-loop point (64 nodes, default
+/// four-tenant mix, ~2^20 requests) and push every request through a
+/// per-(tenant, node) token bucket — the host-side hot loop every serving
+/// sweep point pays before the first simulated picosecond.
+BenchResult arrival_storm() {
+  namespace serve = dvx::serve;
+  serve::ArrivalConfig cfg;
+  cfg.seed = 11;
+  cfg.nodes = 64;
+  cfg.horizon_us = 400.0;
+  cfg.unit_rate_rps = 5.0e8;  // ~2^20 requests over the default mix
+
+  const auto t0 = Clock::now();
+  const serve::ArrivalTrace trace = serve::generate_arrivals(cfg);
+  // One bucket per (tenant, node), refilled in virtual time at half the
+  // tenant's offered rate so both the accept and the shed paths stay hot.
+  const double horizon_ps = cfg.horizon_us * 1e6;
+  std::vector<serve::TokenBucket> buckets;
+  buckets.reserve(trace.tenants.size() * static_cast<std::size_t>(cfg.nodes));
+  for (std::size_t ti = 0; ti < trace.tenants.size(); ++ti) {
+    const double rate = 0.5 * static_cast<double>(trace.offered_per_tenant[ti]) /
+                        (horizon_ps * cfg.nodes);
+    for (int n = 0; n < cfg.nodes; ++n) buckets.emplace_back(rate, 16.0);
+  }
+  std::uint64_t accepted = 0;
+  for (const serve::Request& r : trace.requests) {
+    const std::size_t b = r.tenant * static_cast<std::size_t>(cfg.nodes) + r.home;
+    accepted += buckets[b].try_take(r.arrival) ? 1 : 0;
+  }
+  if (accepted == 0 || accepted >= trace.offered()) {
+    std::cerr << "dvx_perf: arrival_storm admission degenerate (" << accepted
+              << "/" << trace.offered() << ")\n";
+    std::exit(1);
+  }
+  const double s = seconds_since(t0);
+  const double work = static_cast<double>(trace.offered());
+  return {"arrival_storm", "requests/s", work, s, work / s};
+}
+
 using BenchFn = BenchResult (*)();
 struct BenchEntry {
   const char* name;
@@ -228,6 +273,7 @@ constexpr BenchEntry kBenches[] = {
     {"switch_drain_congested", switch_drain_congested},
     {"fabric_burst", fabric_burst},
     {"fabric_torus", fabric_torus},
+    {"arrival_storm", arrival_storm},
 };
 
 int usage(int code) {

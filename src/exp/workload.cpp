@@ -257,6 +257,7 @@ Registry& Registry::instance() {
     r->add(make_ablation_aggregation_workload());
     r->add(make_ablation_fabric_workload());
     r->add(make_traffic_workload());
+    r->add(make_serving_workload());
     return r;
   }();
   return *registry;

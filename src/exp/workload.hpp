@@ -275,5 +275,6 @@ std::unique_ptr<Workload> make_apps_workload();              // fig9
 std::unique_ptr<Workload> make_ablation_aggregation_workload();
 std::unique_ptr<Workload> make_ablation_fabric_workload();
 std::unique_ptr<Workload> make_traffic_workload();
+std::unique_ptr<Workload> make_serving_workload();
 
 }  // namespace dvx::exp

@@ -23,6 +23,7 @@
 // share one — that is what makes metrics output byte-identical at any job
 // count.
 
+#include <algorithm>
 #include <cstdint>
 #include <map>
 #include <string>
@@ -71,6 +72,20 @@ class Histogram {
   }
   const sim::LogHistogram& buckets() const noexcept { return buckets_; }
   const sim::RunningStats& stats() const noexcept { return stats_; }
+
+  /// Honest tail quantile for SLO reporting (DESIGN.md §14): the bucket
+  /// UPPER edge of the q-quantile, clamped to the exact maximum ever
+  /// observed. Unlike the midpoint estimate of buckets().quantile(), the
+  /// result both bounds the true quantile from above and never exceeds a
+  /// value that was actually recorded — a p999 over a sparse tail (few
+  /// samples in the top bucket) stays meaningful.
+  double quantile_upper_bound(double q) const {
+    if (stats_.count() == 0) return 0.0;
+    return std::min(buckets_.quantile_upper_bound(q), stats_.max());
+  }
+
+  /// Exact largest observed value (not a bucket edge).
+  double max_value() const noexcept { return stats_.max(); }
 
  private:
   sim::LogHistogram buckets_;

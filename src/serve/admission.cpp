@@ -1,0 +1,17 @@
+#include "serve/admission.hpp"
+
+#include <algorithm>
+
+namespace dvx::serve {
+
+bool TokenBucket::try_take(sim::Time now) {
+  if (now > last_) {
+    tokens_ = std::min(burst_, tokens_ + rate_ * static_cast<double>(now - last_));
+    last_ = now;
+  }
+  if (tokens_ < 1.0) return false;
+  tokens_ -= 1.0;
+  return true;
+}
+
+}  // namespace dvx::serve

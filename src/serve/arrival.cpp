@@ -1,0 +1,191 @@
+#include "serve/arrival.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+#include <stdexcept>
+
+#include "check/check.hpp"
+#include "sim/rng.hpp"
+
+namespace dvx::serve {
+namespace {
+
+/// FNV-1a over the tenant name: stable across runs and platforms, so the
+/// stream seed follows the tenant, not its position in the config list.
+constexpr std::uint64_t fnv1a(std::string_view s) {
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  for (char c : s) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+/// Exponential inter-arrival draw with mean `mean_ps` (inverse-CDF; the
+/// 1 - u keeps the argument of log strictly positive).
+double exp_draw(sim::Xoshiro256& rng, double mean_ps) {
+  return -std::log(1.0 - rng.uniform()) * mean_ps;
+}
+
+struct StreamRequest {
+  Request req;
+  std::uint64_t seq;  ///< per-(tenant, node) sequence, for canonical ties
+};
+
+}  // namespace
+
+const char* to_string(TenantClass c) noexcept {
+  switch (c) {
+    case TenantClass::kSmallUpdate:
+      return "small-update";
+    case TenantClass::kFrontier:
+      return "frontier";
+    case TenantClass::kBulk:
+      return "bulk";
+  }
+  return "?";
+}
+
+std::vector<TenantSpec> default_tenants() {
+  return {
+      // A bursty hot tenant concentrating fan-out on a small hot node set:
+      // the congestion source of the victim-flow study.
+      {.name = "hot",
+       .cls = TenantClass::kSmallUpdate,
+       .rate_weight = 3.0,
+       .burstiness = 3.0,
+       .fanout = 4,
+       .payload_words = 1,
+       .hotspot = true},
+      // Two well-behaved victims with uniform BFS-like exchanges.
+      {.name = "vic_a",
+       .cls = TenantClass::kFrontier,
+       .rate_weight = 1.0,
+       .burstiness = 0.0,
+       .fanout = 4,
+       .payload_words = 32,
+       .hotspot = false},
+      {.name = "vic_b",
+       .cls = TenantClass::kFrontier,
+       .rate_weight = 1.0,
+       .burstiness = 0.0,
+       .fanout = 2,
+       .payload_words = 32,
+       .hotspot = false},
+      // Rare heavy payloads (DMA on DV, rendezvous on MPI) — ROADMAP item 5's
+      // bulk class riding along.
+      {.name = "bulk",
+       .cls = TenantClass::kBulk,
+       .rate_weight = 0.25,
+       .burstiness = 0.0,
+       .fanout = 1,
+       .payload_words = 2048,
+       .hotspot = false},
+  };
+}
+
+std::uint64_t tenant_stream_seed(std::uint64_t root, std::string_view tenant,
+                                 int node) {
+  return sim::derive_seed(sim::derive_seed(root, fnv1a(tenant)),
+                          static_cast<std::uint64_t>(node));
+}
+
+ArrivalTrace generate_arrivals(const ArrivalConfig& cfg) {
+  if (cfg.nodes <= 1) throw std::invalid_argument("generate_arrivals: need >= 2 nodes");
+  if (cfg.horizon_us <= 0.0 || cfg.unit_rate_rps <= 0.0) {
+    throw std::invalid_argument("generate_arrivals: horizon and rate must be positive");
+  }
+  ArrivalTrace trace;
+  trace.tenants = cfg.tenants.empty() ? default_tenants() : cfg.tenants;
+  trace.horizon_us = cfg.horizon_us;
+
+  const double horizon_ps = cfg.horizon_us * 1e6;
+  const int hot_nodes = std::max(1, cfg.nodes / 8);
+  std::vector<StreamRequest> all;
+
+  for (std::size_t ti = 0; ti < trace.tenants.size(); ++ti) {
+    const TenantSpec& t = trace.tenants[ti];
+    if (t.fanout <= 0 || t.payload_words <= 0 || t.rate_weight < 0.0) {
+      throw std::invalid_argument("generate_arrivals: bad tenant spec: " + t.name);
+    }
+    // Per-node offered rate of this tenant, in requests per picosecond —
+    // a function of the tenant's own spec only (sub-seed stability).
+    const double rate_pps = cfg.unit_rate_rps * t.rate_weight / cfg.nodes / 1e12;
+    if (rate_pps <= 0.0) continue;
+    // Batches of mean size 1 + b arrive at gaps stretched by the same
+    // factor, keeping the offered rate independent of burstiness.
+    const double mean_gap_ps = (1.0 + t.burstiness) / rate_pps;
+    const double batch_p = t.burstiness / (1.0 + t.burstiness);
+
+    for (int node = 0; node < cfg.nodes; ++node) {
+      sim::Xoshiro256 rng(tenant_stream_seed(cfg.seed, t.name, node));
+      std::uint64_t seq = 0;
+      double at = exp_draw(rng, mean_gap_ps);
+      while (at < horizon_ps) {
+        std::uint64_t batch = 1;
+        while (batch_p > 0.0 && rng.chance(batch_p)) ++batch;
+        for (std::uint64_t b = 0; b < batch; ++b) {
+          Request r;
+          r.tenant = static_cast<std::uint16_t>(ti);
+          r.home = static_cast<std::uint16_t>(node);
+          r.arrival = static_cast<sim::Time>(at);
+          r.payload_words = static_cast<std::uint32_t>(t.payload_words);
+          r.peers.reserve(static_cast<std::size_t>(t.fanout));
+          for (int f = 0; f < t.fanout; ++f) {
+            int peer;
+            if (t.hotspot) {
+              peer = static_cast<int>(rng.below(static_cast<std::uint64_t>(hot_nodes)));
+              // A hot-set member skips itself by stepping to its neighbour.
+              if (peer == node) peer = (peer + 1) % cfg.nodes;
+            } else {
+              // Uniform over the other nodes: skip `node` by shifting.
+              peer = static_cast<int>(
+                  rng.below(static_cast<std::uint64_t>(cfg.nodes - 1)));
+              if (peer >= node) ++peer;
+            }
+            r.peers.push_back(static_cast<std::uint16_t>(peer));
+          }
+          all.push_back(StreamRequest{std::move(r), seq++});
+        }
+        at += exp_draw(rng, mean_gap_ps);
+      }
+    }
+  }
+
+  // Canonical order: arrival time, then home rank, then tenant, then the
+  // per-stream sequence — a total order, so the sort is deterministic.
+  std::sort(all.begin(), all.end(), [](const StreamRequest& a, const StreamRequest& b) {
+    if (a.req.arrival != b.req.arrival) return a.req.arrival < b.req.arrival;
+    if (a.req.home != b.req.home) return a.req.home < b.req.home;
+    if (a.req.tenant != b.req.tenant) return a.req.tenant < b.req.tenant;
+    return a.seq < b.seq;
+  });
+
+  trace.requests.reserve(all.size());
+  trace.offered_per_tenant.assign(trace.tenants.size(), 0);
+  std::uint64_t id = 0;
+  for (StreamRequest& s : all) {
+    s.req.id = id++;
+    ++trace.offered_per_tenant[s.req.tenant];
+    trace.requests.push_back(std::move(s.req));
+  }
+  std::uint64_t sum = 0;
+  for (std::uint64_t n : trace.offered_per_tenant) sum += n;
+  DVX_CHECK_EQ(sum, trace.requests.size())
+      << "arrival trace: per-tenant offered counts partition the trace. ";
+  return trace;
+}
+
+std::string trace_to_string(const ArrivalTrace& trace) {
+  std::ostringstream os;
+  for (const Request& r : trace.requests) {
+    os << r.id << ' ' << trace.tenants[r.tenant].name << ' ' << r.home << ' '
+       << r.arrival << ' ' << r.payload_words << ':';
+    for (std::uint16_t p : r.peers) os << ' ' << p;
+    os << '\n';
+  }
+  return os.str();
+}
+
+}  // namespace dvx::serve

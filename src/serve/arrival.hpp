@@ -1,0 +1,101 @@
+#pragma once
+// dvx::serve — open-loop multi-tenant serving layer (DESIGN.md §14).
+//
+// Arrival-process generation: every tenant owns a family of seeded
+// exponential (optionally bursty) inter-arrival streams, one per node, and
+// a generated trace is a pure function of (ArrivalConfig) — independent of
+// execution order, `--jobs`, and engine threads. Sub-seeds are derived from
+// the tenant NAME (FNV-1a) rather than its list position, so adding or
+// removing one tenant leaves every other tenant's stream byte-identical
+// (sub-seed stability).
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "sim/time.hpp"
+
+namespace dvx::serve {
+
+/// The irregular-traffic shape one request fans out (paper kernels recast
+/// as service classes; ROADMAP item 3 + the item-5 heavy-payload class).
+enum class TenantClass {
+  kSmallUpdate,  ///< GUPS-like: fanout single-word remote updates
+  kFrontier,     ///< BFS-like: fanout medium frontier exchanges
+  kBulk,         ///< checkpoint-like: few heavy payloads (DMA/rendezvous)
+};
+
+const char* to_string(TenantClass c) noexcept;
+
+struct TenantSpec {
+  std::string name;
+  TenantClass cls = TenantClass::kSmallUpdate;
+  /// Offered-rate multiplier on ArrivalConfig::unit_rate_rps. Absolute per
+  /// tenant (not normalized over the list), so streams are independent.
+  double rate_weight = 1.0;
+  /// 0 = Poisson arrivals; b > 0 = geometric batches with mean size 1 + b
+  /// (inter-batch gaps stretched by the same factor, so the offered rate is
+  /// unchanged — only the clumping).
+  double burstiness = 0.0;
+  /// Peers touched per request (destinations drawn per request).
+  int fanout = 4;
+  /// Payload words per fanout message.
+  int payload_words = 1;
+  /// Concentrate destinations on a small hot node set (victim-tenant study).
+  bool hotspot = false;
+};
+
+/// The canonical four-tenant mix used by the `serving` workload: one hot
+/// bursty tenant, two uniform victims, one bulk tenant.
+std::vector<TenantSpec> default_tenants();
+
+struct ArrivalConfig {
+  std::uint64_t seed = 0x5EEDBA5EULL;
+  int nodes = 8;
+  /// Open-loop injection window (requests arriving in [0, horizon)).
+  double horizon_us = 200.0;
+  /// Offered request rate per unit of TenantSpec::rate_weight, cluster-wide
+  /// (a weight-w tenant offers w * unit_rate_rps req/s spread over the
+  /// nodes). Deliberately NOT normalized over the tenant list: a tenant's
+  /// stream depends only on its own spec, so adding or removing tenants
+  /// leaves every other stream byte-identical. The aggregate offered rate
+  /// is unit_rate_rps * sum(rate_weight).
+  double unit_rate_rps = 2.0e5;
+  std::vector<TenantSpec> tenants;  ///< empty = default_tenants()
+};
+
+/// One offered request: arrives at `home` at `arrival` (offset from the
+/// open-loop origin) and fans `payload_words`-word messages to `peers`.
+struct Request {
+  std::uint64_t id = 0;       ///< global id in canonical trace order
+  std::uint16_t tenant = 0;   ///< index into ArrivalTrace::tenants
+  std::uint16_t home = 0;     ///< rank the request arrives at
+  sim::Time arrival = 0;      ///< ps offset from the open-loop origin
+  std::uint32_t payload_words = 0;
+  std::vector<std::uint16_t> peers;  ///< fanout destinations (may repeat)
+};
+
+struct ArrivalTrace {
+  std::vector<TenantSpec> tenants;
+  /// Sorted by (arrival, home, tenant, per-stream sequence); ids assigned
+  /// in that order, so the trace is canonical.
+  std::vector<Request> requests;
+  double horizon_us = 0.0;
+  std::vector<std::uint64_t> offered_per_tenant;  ///< parallel to tenants
+
+  std::uint64_t offered() const noexcept { return requests.size(); }
+};
+
+/// The per-(tenant, node) stream seed: keyed by tenant name, not index.
+std::uint64_t tenant_stream_seed(std::uint64_t root, std::string_view tenant,
+                                 int node);
+
+/// Generates the canonical offered trace for `cfg`. Pure function of the
+/// config: same config -> byte-identical trace at any parallelism.
+ArrivalTrace generate_arrivals(const ArrivalConfig& cfg);
+
+/// Canonical one-line-per-request serialization (determinism diffs/tests).
+std::string trace_to_string(const ArrivalTrace& trace);
+
+}  // namespace dvx::serve

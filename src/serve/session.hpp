@@ -1,0 +1,68 @@
+#pragma once
+// The serving session layer (DESIGN.md §14): replays an offered ArrivalTrace
+// open-loop against a runtime::Cluster. Per rank, three coroutines run:
+//   injector   — wakes at each offered arrival, applies admission control
+//                (token bucket / queue shed), enqueues accepted requests;
+//   server     — FIFO single-server queue: fans each request out to its
+//                peers and waits for every reply (request latency = reply
+//                completion minus offered arrival);
+//   dispatcher — serves remote requests (service compute + reply) until a
+//                count learned via all-to-all says every sent request was
+//                received (the GUPS termination idiom).
+// The DV side speaks fifo words + remote puts through dvapi; the MPI side
+// speaks tagged messages, so payload size picks eager vs rendezvous. Which
+// fabric MPI rides (fat-tree or torus) is the cluster's choice — serve
+// never names a concrete network.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "runtime/cluster.hpp"
+#include "serve/admission.hpp"
+#include "serve/arrival.hpp"
+#include "serve/slo.hpp"
+
+namespace dvx::serve {
+
+/// Host-compute knobs of the service model.
+struct ServiceCosts {
+  /// Home-side software cost per request (parse, route, session lookup).
+  double request_flops = 400.0;
+  /// Peer-side compute per payload word served (touches the word once).
+  double serve_flops_per_word = 4.0;
+};
+
+struct SessionConfig {
+  AdmissionConfig admission;
+  ServiceCosts costs;
+};
+
+/// Per-tenant outcome of one session.
+struct TenantOutcome {
+  std::string name;
+  AdmissionCounters admission;
+  std::uint64_t served = 0;
+  TailLatency latency;  ///< offered-arrival -> last-reply latency, ns
+};
+
+struct ServeReport {
+  std::vector<TenantOutcome> tenants;
+  double roi_seconds = 0.0;  ///< open-loop window plus drain (cluster ROI)
+
+  std::uint64_t offered() const noexcept;
+  std::uint64_t accepted() const noexcept;
+  std::uint64_t shed() const noexcept;
+  std::uint64_t served() const noexcept;
+};
+
+/// Replays `trace` over the Data Vortex backend of `cluster`.
+ServeReport run_serve_dv(runtime::Cluster& cluster, const ArrivalTrace& trace,
+                         const SessionConfig& cfg);
+
+/// Replays `trace` over MiniMPI on the cluster's configured fabric
+/// (ClusterConfig::mpi_fabric: fat-tree or torus).
+ServeReport run_serve_mpi(runtime::Cluster& cluster, const ArrivalTrace& trace,
+                          const SessionConfig& cfg);
+
+}  // namespace dvx::serve

@@ -77,6 +77,25 @@ double LogHistogram::quantile(double q) const {
   return std::ldexp(1.0, static_cast<int>(last));
 }
 
+double LogHistogram::quantile_upper_bound(double q) const {
+  if (total_ == 0) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  std::size_t last = buckets_.size();
+  while (last > 0 && buckets_[last - 1] == 0) --last;
+  const double target = q * static_cast<double>(total_);
+  double seen = 0.0;
+  for (std::size_t b = 0; b < last; ++b) {
+    if (buckets_[b] == 0) continue;
+    seen += static_cast<double>(buckets_[b]);
+    // The q-th sample lies in this bucket: its upper edge bounds it. q == 0
+    // lands here too (first non-empty bucket), which is still a bound.
+    if (seen >= target) return std::ldexp(1.0, static_cast<int>(b + 1));
+  }
+  // Rounding pushed target past the accumulated mass; the upper edge of the
+  // last non-empty bucket bounds every recorded sample.
+  return std::ldexp(1.0, static_cast<int>(last));
+}
+
 std::string LogHistogram::to_string() const {
   std::ostringstream os;
   for (std::size_t b = 0; b < buckets_.size(); ++b) {

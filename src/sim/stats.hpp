@@ -38,8 +38,15 @@ class LogHistogram {
   std::uint64_t count() const noexcept { return total_; }
   /// Bucket b counts values in [2^b, 2^(b+1)) (bucket 0 holds 0 and 1).
   const std::vector<std::uint64_t>& buckets() const noexcept { return buckets_; }
-  /// Approximate p-quantile (q in [0,1]) from bucket midpoints.
+  /// Approximate p-quantile (q in [0,1]) from bucket midpoints. A midpoint
+  /// can sit ABOVE every recorded sample of its bucket, so this estimate is
+  /// for central quantiles; tail reporting (p99/p999) should use
+  /// quantile_upper_bound and clamp to an exact max (obs::Histogram does).
   double quantile(double q) const;
+  /// Upper bound of the p-quantile: the UPPER edge of the bucket holding
+  /// the q-th sample. Guaranteed >= the true quantile (the midpoint
+  /// estimate is not), which is the honest direction for SLO tails.
+  double quantile_upper_bound(double q) const;
   std::string to_string() const;
 
  private:

@@ -35,14 +35,15 @@ std::string slurp(const std::string& path) {
 
 TEST(Registry, AllPaperFiguresAndAblationsRegistered) {
   const auto all = exp::Registry::instance().all();
-  ASSERT_EQ(all.size(), 10u);
+  ASSERT_EQ(all.size(), 11u);
   for (const char* fig : {"fig3", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9",
-                          "ablation_aggregation", "ablation_fabric", "traffic"}) {
+                          "ablation_aggregation", "ablation_fabric", "traffic",
+                          "serving"}) {
     EXPECT_NE(exp::Registry::instance().find(fig), nullptr) << fig;
   }
   for (const char* name : {"pingpong", "barrier", "gups_trace", "gups", "fft1d", "bfs",
                            "apps", "ablation_aggregation", "ablation_fabric",
-                           "traffic"}) {
+                           "traffic", "serving"}) {
     EXPECT_NE(exp::Registry::instance().find(name), nullptr) << name;
   }
   EXPECT_EQ(exp::Registry::instance().find("fig42"), nullptr);

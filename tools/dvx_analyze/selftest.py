@@ -154,6 +154,22 @@ def layering_suppression_honored():
         assert ctx.suppressions[0].justification.startswith("transitional")
 
 
+@case
+def layering_serve_is_backend_neutral():
+    with tempfile.TemporaryDirectory() as d:
+        tmp = pathlib.Path(d)
+        ctx = _run_tree(tmp, {
+            # serve -> ib is a hard negative edge (backend neutrality);
+            # serve -> dvapi rides the facade and is fine.
+            "src/serve/session.cpp":
+                '#include "ib/topology.hpp"\n'
+                '#include "dvapi/dv.hpp"\n',
+        }, ["layering"])
+        assert _rules_of(ctx) == ["layering"], ctx.findings
+        f = ctx.findings[0]
+        assert f.line == 1 and "must never include" in f.message, f
+
+
 # --------------------------------------------------------------------------
 # shard-safety
 # --------------------------------------------------------------------------
