@@ -13,6 +13,10 @@
 //     queues, saturated occupancy, then the sparse drain tail.
 //   * fabric_burst            — analytic FabricModel bursts/s.
 //   * fabric_torus            — 3D-torus timing model messages/s.
+//   * cluster_gups_sharded    — end-to-end sharded cluster rate (updates/s):
+//     64-node Data Vortex GUPS through runtime::Cluster at engine_threads=4
+//     (shards = 4), with a threads=1 pass first to pin the determinism
+//     contract (both layouts must produce the same virtual trajectory).
 //   * arrival_storm           — serving-layer arrival generation + token
 //     bucket admission (requests/s): the host-side cost of planning an
 //     open-loop multi-tenant serving point (dvx::serve, DESIGN.md §14).
@@ -36,8 +40,10 @@
 #include <thread>
 #include <vector>
 
+#include "apps/gups.hpp"
 #include "dvnet/cycle_switch.hpp"
 #include "dvnet/fabric_model.hpp"
+#include "runtime/cluster.hpp"
 #include "runtime/report.hpp"
 #include "serve/admission.hpp"
 #include "serve/arrival.hpp"
@@ -222,6 +228,43 @@ BenchResult engine_parallel_storm() {
   return {"engine_parallel_storm", "events/s", work, s, work / s};
 }
 
+/// End-to-end sharded-cluster throughput (ISSUE 10 canary): a 64-node
+/// Data Vortex GUPS run through runtime::Cluster at engine_threads = 1
+/// (the windowed serial lower bound) and then at engine_threads = 4
+/// (shards = 4 partitioned fabric). The reported rate is the sharded run's
+/// host-side update throughput; the serial pass guards determinism — both
+/// layouts must land on the exact same virtual-time trajectory, so any
+/// divergence aborts the bench. On >= 4-core hardware the sharded pass is
+/// the speedup the partitioning work exists to buy; on fewer cores it
+/// degrades to oversubscribed-but-correct.
+BenchResult cluster_gups_sharded() {
+  namespace apps = dvx::apps;
+  apps::GupsParams params;
+  params.local_table_words = 1 << 14;
+  params.updates_per_node = 1 << 12;
+
+  auto run_at = [&](int threads) {
+    runtime::ClusterConfig cfg;
+    cfg.nodes = 64;
+    cfg.engine_threads = threads;
+    runtime::Cluster cluster(cfg);
+    return apps::run_gups_dv(cluster, params);
+  };
+
+  const apps::GupsResult serial = run_at(1);
+  const auto t0 = Clock::now();
+  const apps::GupsResult sharded = run_at(4);
+  const double s = seconds_since(t0);
+  if (serial.seconds != sharded.seconds) {
+    std::cerr << "dvx_perf: cluster_gups_sharded trajectories diverged "
+                 "(shards=1 roi " << serial.seconds << " s vs shards=4 roi "
+              << sharded.seconds << " s)\n";
+    std::exit(1);
+  }
+  const double work = sharded.total_updates;
+  return {"cluster_gups_sharded", "updates/s", work, s, work / s};
+}
+
 /// Serving-layer arrival planning throughput: generate the canonical
 /// multi-tenant trace for a large open-loop point (64 nodes, default
 /// four-tenant mix, ~2^20 requests) and push every request through a
@@ -273,6 +316,7 @@ constexpr BenchEntry kBenches[] = {
     {"switch_drain_congested", switch_drain_congested},
     {"fabric_burst", fabric_burst},
     {"fabric_torus", fabric_torus},
+    {"cluster_gups_sharded", cluster_gups_sharded},
     {"arrival_storm", arrival_storm},
 };
 

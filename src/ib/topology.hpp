@@ -13,9 +13,12 @@
 //
 // Like the Data Vortex FabricModel, this is pure timing math over per-link
 // next-free times, with messages chunked at MTU granularity so concurrent
-// flows interleave; the DES guarantees nondecreasing call times. It is one
-// implementation of the net::Interconnect seam the MPI runtime is built on.
+// flows interleave; the DES guarantees nondecreasing call times (in windowed
+// partition mode the MPI world's canonical window-close replay preserves
+// that order). It is one implementation of the net::Interconnect seam the
+// MPI runtime is built on.
 
+#include <atomic>
 #include <cstdint>
 #include <vector>
 
@@ -37,7 +40,11 @@ struct IbParams {
 
 using MsgTiming = net::MsgTiming;
 
-// dvx-analyze: shared-across-shards
+// Partitioned contract (DESIGN.md §15): the link/NIC ledgers are touched
+// only from the window-close resolution (MpiWorld::resolve_window, instance
+// -1); loopback sends run concurrently on the caller's shard but reach only
+// the atomic byte tally before returning.
+// dvx-analyze: shard-partitioned
 class Fabric final : public net::Interconnect {
  public:
   explicit Fabric(int nodes, IbParams params = {});
@@ -58,7 +65,9 @@ class Fabric final : public net::Interconnect {
                          sim::Time ready) override;
 
   /// Total bytes offered to the fabric so far (diagnostics).
-  std::int64_t bytes_sent() const noexcept override { return bytes_sent_; }
+  std::int64_t bytes_sent() const noexcept override {
+    return bytes_sent_.load(std::memory_order_relaxed);
+  }
 
   void reset() override;
 
@@ -92,7 +101,8 @@ class Fabric final : public net::Interconnect {
   int spines_;
   std::vector<sim::Time> link_free_;
   std::vector<sim::Time> nic_gate_;  ///< message-rate gate per NIC
-  std::int64_t bytes_sent_ = 0;
+  // Atomic so loopback sends can tally from any shard mid-window.
+  std::atomic<std::int64_t> bytes_sent_{0};
 };
 
 }  // namespace dvx::ib

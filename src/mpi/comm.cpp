@@ -1,8 +1,10 @@
 #include "mpi/comm.hpp"
 
+#include <algorithm>
 #include <stdexcept>
 #include <utility>
 
+#include "check/check.hpp"
 #include "obs/collector.hpp"
 
 namespace dvx::mpi {
@@ -22,6 +24,102 @@ MpiWorld::MpiWorld(sim::Engine& engine, std::unique_ptr<net::Interconnect> fabri
     obs_msg_bytes_ = m->histogram("mpi.msg.bytes");
     obs_eager_msgs_ = m->counter("mpi.msgs", {{"protocol", "eager"}});
     obs_rendezvous_msgs_ = m->counter("mpi.msgs", {{"protocol", "rendezvous"}});
+  }
+}
+
+MpiWorld::~MpiWorld() {
+  if (windowed_) engine_.remove_window_hook(this);
+}
+
+// dvx-analyze: allow(shard-partitioned) -- config-time, before any rank runs
+void MpiWorld::configure_partition(std::vector<int> node_to_shard) {
+  DVX_CHECK(static_cast<int>(node_to_shard.size()) == ranks_)
+      << "node->shard map must cover every rank";
+  DVX_CHECK(engine_.sharding().windowed)
+      << "MpiWorld::configure_partition requires a windowed engine";
+  int shards = 0;
+  for (int s : node_to_shard) shards = std::max(shards, s + 1);
+  DVX_CHECK(shards >= 1 && shards <= engine_.shards())
+      << "node->shard map names a shard the engine does not have";
+  windowed_ = true;
+  node_to_shard_ = std::move(node_to_shard);
+  staged_.assign(static_cast<std::size_t>(engine_.shards()), {});
+  stage_seq_.assign(static_cast<std::size_t>(ranks_), 0);
+  engine_.add_window_hook(this, [this] { resolve_window(); });
+}
+
+void MpiWorld::account(const WireOp& op, const net::MsgTiming& t) {
+  if (op.acct_bytes >= 0 && obs_msg_bytes_ != nullptr) {
+    obs_msg_bytes_->observe(static_cast<std::uint64_t>(op.acct_bytes));
+    (op.eager ? obs_eager_msgs_ : obs_rendezvous_msgs_)->inc();
+  }
+  if (op.traced && tracer_ != nullptr) {
+    // The message line carries the ORIGINAL send time: in windowed mode the
+    // engine clock at resolution sits at the window floor, not at op.ready.
+    tracer_->record_message(op.src, op.dst, op.ready, t.last_arrival, op.bytes,
+                            op.tag);
+  }
+}
+
+void MpiWorld::fabric_send(WireOp op, std::function<void(const net::MsgTiming&)> k) {
+  if (!windowed_) {
+    const net::MsgTiming t = fabric_->send_message(op.src, op.dst, op.bytes, op.ready);
+    account(op, t);
+    if (k) k(t);
+    return;
+  }
+  const int cur = sim::Engine::current_shard();
+  auto& box = staged_[static_cast<std::size_t>(cur < 0 ? 0 : cur)];
+  const std::uint64_t seq = stage_seq_[static_cast<std::size_t>(op.src)]++;
+  if (op.src == op.dst) {
+    // Loopback rides only local state (an atomic byte tally + stateless
+    // memcpy timing), so the timing is computed synchronously on the calling
+    // shard — the continuation may schedule into the current window, which a
+    // window-close resolution could not do. The obs/tracer accounting still
+    // goes through the staged ledger so its order stays canonical.
+    const net::MsgTiming t = fabric_->send_message(op.src, op.dst, op.bytes, op.ready);
+    if (op.acct_bytes >= 0 || op.traced) {
+      StagedOp staged;
+      staged.op = op;
+      staged.seq = seq;
+      staged.loopback = true;
+      staged.timing = t;
+      box.push_back(std::move(staged));
+    }
+    if (k) k(t);
+    return;
+  }
+  StagedOp staged;
+  staged.op = std::move(op);
+  staged.seq = seq;
+  staged.k = std::move(k);
+  box.push_back(std::move(staged));
+}
+
+void MpiWorld::resolve_window() {
+  // Window-close resolution (coordinator thread): replay every staged wire
+  // transfer against the shared interconnect in canonical (ready, src,
+  // per-src seq) order — a pure function of the window's simulation content,
+  // identical at every shard layout and worker count. Continuations only
+  // schedule protocol events onto explicit destination shards (at physical
+  // times >= the window end) and never re-enter fabric_send.
+  std::vector<StagedOp> batch;
+  for (auto& box : staged_) {
+    std::move(box.begin(), box.end(), std::back_inserter(batch));
+    box.clear();
+  }
+  if (batch.empty()) return;
+  std::sort(batch.begin(), batch.end(), [](const StagedOp& a, const StagedOp& b) {
+    if (a.op.ready != b.op.ready) return a.op.ready < b.op.ready;
+    if (a.op.src != b.op.src) return a.op.src < b.op.src;
+    return a.seq < b.seq;
+  });
+  for (StagedOp& s : batch) {
+    const net::MsgTiming t =
+        s.loopback ? s.timing
+                   : fabric_->send_message(s.op.src, s.op.dst, s.op.bytes, s.op.ready);
+    account(s.op, t);
+    if (s.k) s.k(t);
   }
 }
 

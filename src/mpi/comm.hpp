@@ -105,11 +105,20 @@ class Comm {
 
 /// Owns the per-rank endpoints, the interconnect the bytes travel over, and
 /// runs the eager/rendezvous protocol.
-// dvx-analyze: shared-across-shards
+///
+/// Partitioned operation (DESIGN.md §15): configure_partition() rank-
+/// partitions the world across engine shards. Endpoint tables are per rank
+/// and only ever touched on the owning rank's shard (protocol events are
+/// scheduled onto the destination's shard explicitly); the shared
+/// interconnect is reached exclusively through fabric_send(), which stages
+/// non-loopback wire transfers into per-shard ledgers resolved at the
+/// engine's window barrier in canonical (ready, src, per-src seq) order.
+// dvx-analyze: shard-partitioned
 class MpiWorld {
  public:
   MpiWorld(sim::Engine& engine, std::unique_ptr<net::Interconnect> fabric,
            int ranks, MpiParams params = {}, sim::Tracer* tracer = nullptr);
+  ~MpiWorld();
 
   int size() const noexcept { return ranks_; }
   sim::Engine& engine() noexcept { return engine_; }
@@ -117,6 +126,13 @@ class MpiWorld {
   const MpiParams& params() const noexcept { return params_; }
   sim::Tracer* tracer() noexcept { return tracer_; }
   Comm comm(int rank) { return Comm(*this, rank); }
+
+  /// Switches the world into windowed-partition mode: rank r's protocol
+  /// events run on shard node_to_shard[r], wire transfers are staged and
+  /// resolved at window closes. Call after Engine::configure_sharding
+  /// ({.windowed = true}) and before any traffic.
+  void configure_partition(std::vector<int> node_to_shard);
+  bool windowed() const noexcept { return windowed_; }
 
   // Protocol entry points (used by Comm).
   Request start_send(int src, int dst, int tag, std::vector<std::uint64_t> data);
@@ -147,6 +163,43 @@ class MpiWorld {
     return (want_src == kAnySource || want_src == src) &&
            (want_tag == kAnyTag || want_tag == tag);
   }
+
+  /// One wire transfer routed through fabric_send. `acct_bytes >= 0` carries
+  /// the obs per-message accounting (full message size + protocol counter);
+  /// `traced` records the tracer message line when the timing is known.
+  struct WireOp {
+    int src = 0;
+    int dst = 0;
+    std::int64_t bytes = 0;  ///< on-the-wire bytes of this transfer
+    sim::Time ready = 0;
+    std::int64_t acct_bytes = -1;
+    bool eager = false;
+    bool traced = false;
+    int tag = 0;
+  };
+  /// A wire transfer parked in its shard's ledger until window close.
+  struct StagedOp {
+    WireOp op;
+    std::uint64_t seq = 0;  ///< per-src monotone stage order
+    bool loopback = false;  ///< timing precomputed; resolution only accounts
+    net::MsgTiming timing{};  ///< valid when loopback
+    std::function<void(const net::MsgTiming&)> k;  ///< nullable continuation
+  };
+
+  /// Single gateway to the interconnect. Non-windowed: synchronous
+  /// send_message, inline accounting, k invoked immediately. Windowed:
+  /// loopback (src == dst; purely local timing) still computes synchronously
+  /// on the calling shard, while remote transfers stage {op, seq, k} and the
+  /// window-close resolution replays them in (ready, src, seq) order.
+  void fabric_send(WireOp op, std::function<void(const net::MsgTiming&)> k);
+  void account(const WireOp& op, const net::MsgTiming& t);
+  void resolve_window();
+  /// Destination shard for rank r's protocol events (-1 = default shard
+  /// resolution outside partition mode).
+  int shard_of(int rank) const noexcept {
+    return windowed_ ? node_to_shard_[static_cast<std::size_t>(rank)] : -1;
+  }
+
   void deliver_eager(int dst, Message msg);
   void handle_rts(int dst, Rts rts);
   void grant_rts(int dst, const Rts& rts, const Request& recv_op);
@@ -163,6 +216,12 @@ class MpiWorld {
   obs::Counter* obs_eager_msgs_ = nullptr;
   obs::Counter* obs_rendezvous_msgs_ = nullptr;
   std::vector<Endpoint> endpoints_;
+
+  // Windowed-partition state (empty/false outside partition mode).
+  bool windowed_ = false;
+  std::vector<int> node_to_shard_;
+  std::vector<std::vector<StagedOp>> staged_;  ///< per shard
+  std::vector<std::uint64_t> stage_seq_;       ///< per src rank
 };
 
 }  // namespace dvx::mpi

@@ -14,26 +14,25 @@
 namespace dvx::mpi {
 
 Request MpiWorld::start_send(int src, int dst, int tag, std::vector<std::uint64_t> data) {
-  DVX_SHARD_GUARDED("mpi.MpiWorld", -1);
+  DVX_SHARD_GUARDED("mpi.MpiWorld", src);
   auto op = std::make_shared<Op>(engine_);
   const auto bytes =
       static_cast<std::int64_t>(data.size()) * 8 + params_.envelope_bytes;
   const sim::Time now = engine_.now();
 
-  if (obs_msg_bytes_ != nullptr) {
-    obs_msg_bytes_->observe(static_cast<std::uint64_t>(bytes));
-    (bytes <= params_.eager_threshold ? obs_eager_msgs_ : obs_rendezvous_msgs_)->inc();
-  }
-
   if (bytes <= params_.eager_threshold) {
-    const auto t = fabric_->send_message(src, dst, bytes, now);
-    if (tracer_ != nullptr) {
-      tracer_->record_message(src, dst, now, t.last_arrival, bytes, tag);
-    }
+    WireOp wire{src, dst, bytes, now, /*acct_bytes=*/bytes, /*eager=*/true,
+                /*traced=*/tracer_ != nullptr, tag};
     Message msg{src, tag, std::move(data)};
-    engine_.schedule(t.last_arrival, [this, dst, m = std::move(msg)]() mutable {
-      deliver_eager(dst, std::move(m));
-    });
+    fabric_send(std::move(wire),
+                [this, dst, m = std::move(msg)](const net::MsgTiming& t) mutable {
+                  engine_.schedule(
+                      t.last_arrival,
+                      [this, dst, m2 = std::move(m)]() mutable {
+                        deliver_eager(dst, std::move(m2));
+                      },
+                      shard_of(dst));
+                });
     // Eager sends complete once the payload is handed to the NIC; model that
     // as the source-side injection cost (first chunk formation).
     complete(op, now + params_.sw_overhead);
@@ -47,15 +46,22 @@ Request MpiWorld::start_send(int src, int dst, int tag, std::vector<std::uint64_
   pending->tag = tag;
   pending->data = std::move(data);
   pending->op = op;
-  const auto rts_t = fabric_->send_message(src, dst, params_.envelope_bytes, now);
-  engine_.schedule(rts_t.last_arrival, [this, dst, src, tag, pending, rts_t] {
-    handle_rts(dst, Rts{src, tag, rts_t.last_arrival, pending});
-  });
+  WireOp rts_wire{src, dst, params_.envelope_bytes, now, /*acct_bytes=*/bytes,
+                  /*eager=*/false, /*traced=*/false, tag};
+  fabric_send(std::move(rts_wire),
+              [this, dst, src, tag, pending](const net::MsgTiming& rts_t) {
+                engine_.schedule(
+                    rts_t.last_arrival,
+                    [this, dst, src, tag, pending, rts_t] {
+                      handle_rts(dst, Rts{src, tag, rts_t.last_arrival, pending});
+                    },
+                    shard_of(dst));
+              });
   return op;
 }
 
 Request MpiWorld::start_recv(int rank, int src, int tag) {
-  DVX_SHARD_GUARDED("mpi.MpiWorld", -1);
+  DVX_SHARD_GUARDED("mpi.MpiWorld", rank);
   auto op = std::make_shared<Op>(engine_);
   auto& ep = endpoints_[static_cast<std::size_t>(rank)];
 
@@ -82,9 +88,10 @@ Request MpiWorld::start_recv(int rank, int src, int tag) {
 }
 
 void MpiWorld::deliver_eager(int dst, Message msg) {
-  // Runs as a DES event at the arrival time — this is where cross-shard
-  // aliasing on the endpoint tables would actually bite, so it records too.
-  DVX_SHARD_ACCESS("mpi.MpiWorld", -1, kWrite);
+  // Runs as a DES event at the arrival time, on dst's shard in partition
+  // mode — this is where cross-shard aliasing on the endpoint tables would
+  // actually bite, so it records too.
+  DVX_SHARD_ACCESS("mpi.MpiWorld", dst, kWrite);
   auto& ep = endpoints_[static_cast<std::size_t>(dst)];
   for (auto it = ep.posted.begin(); it != ep.posted.end(); ++it) {
     if (matches(it->src, it->tag, msg.src, msg.tag)) {
@@ -99,7 +106,7 @@ void MpiWorld::deliver_eager(int dst, Message msg) {
 }
 
 void MpiWorld::handle_rts(int dst, Rts rts) {
-  DVX_SHARD_ACCESS("mpi.MpiWorld", -1, kWrite);
+  DVX_SHARD_ACCESS("mpi.MpiWorld", dst, kWrite);
   auto& ep = endpoints_[static_cast<std::size_t>(dst)];
   for (auto it = ep.posted.begin(); it != ep.posted.end(); ++it) {
     if (matches(it->src, it->tag, rts.src, rts.tag)) {
@@ -113,27 +120,36 @@ void MpiWorld::handle_rts(int dst, Rts rts) {
 }
 
 void MpiWorld::grant_rts(int dst, const Rts& rts, const Request& recv_op) {
-  // CTS back to the sender, then the bulk payload to the receiver.
-  const auto cts_t =
-      fabric_->send_message(dst, rts.src, params_.envelope_bytes, engine_.now());
+  // CTS back to the sender, then the bulk payload to the receiver. Both legs
+  // run through fabric_send; the CTS continuation hops to the sender's shard
+  // before issuing the payload so the protocol stays rank-local throughout.
   auto pending = rts.sender;
-  engine_.schedule(cts_t.last_arrival, [this, pending, recv_op, dst] {
-    const auto bytes =
-        static_cast<std::int64_t>(pending->data.size()) * 8 + params_.envelope_bytes;
-    const sim::Time now = engine_.now();
-    const auto t = fabric_->send_message(pending->src, pending->dst, bytes, now);
-    if (tracer_ != nullptr) {
-      tracer_->record_message(pending->src, pending->dst, now, t.last_arrival, bytes,
-                              pending->tag);
-    }
-    // The sender unblocks once the payload has drained from its NIC.
-    complete(pending->op, t.last_arrival);
-    Message msg{pending->src, pending->tag, std::move(pending->data)};
-    engine_.schedule(t.last_arrival, [this, recv_op, m = std::move(msg)]() mutable {
-      recv_op->msg = std::move(m);
-      complete(recv_op, engine_.now());
-    });
-    (void)dst;
+  WireOp cts{dst, rts.src, params_.envelope_bytes, engine_.now()};
+  fabric_send(std::move(cts), [this, pending, recv_op](const net::MsgTiming& cts_t) {
+    engine_.schedule(
+        cts_t.last_arrival,
+        [this, pending, recv_op] {
+          const auto bytes = static_cast<std::int64_t>(pending->data.size()) * 8 +
+                             params_.envelope_bytes;
+          WireOp payload{pending->src, pending->dst,    bytes, engine_.now(),
+                         /*acct_bytes=*/-1, /*eager=*/false,
+                         /*traced=*/tracer_ != nullptr, pending->tag};
+          fabric_send(std::move(payload),
+                      [this, pending, recv_op](const net::MsgTiming& t) {
+                        // The sender unblocks once the payload drained its NIC.
+                        complete(pending->op, t.last_arrival);
+                        Message msg{pending->src, pending->tag,
+                                    std::move(pending->data)};
+                        engine_.schedule(
+                            t.last_arrival,
+                            [this, recv_op, m = std::move(msg)]() mutable {
+                              recv_op->msg = std::move(m);
+                              complete(recv_op, engine_.now());
+                            },
+                            shard_of(pending->dst));
+                      });
+        },
+        shard_of(pending->src));
   });
 }
 

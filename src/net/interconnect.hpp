@@ -16,7 +16,14 @@
 //     enforces the ban), so the same call sequence yields byte-identical
 //     timings on every host.
 //   * The DES guarantees nondecreasing `ready` values per source; models
-//     may rely on that the way ib::Fabric's link bank does.
+//     may rely on that the way ib::Fabric's link bank does. In windowed
+//     partition mode (DESIGN.md §15) mpi::MpiWorld stages wire transfers
+//     and replays them at window closes sorted by (ready, src, seq); since
+//     every event left pending after window W is at or past W's end, ready
+//     values stay nondecreasing across batches too, and the property holds
+//     globally. Loopback (src == dst) calls are the one exception: they run
+//     concurrently on the calling shard mid-window, so that branch may
+//     touch only thread-safe state (see ib/torus byte tallies).
 //
 // Adding a backend = implement this class, add an exp::Backend id, and
 // register the construction in runtime::Cluster. Nothing in src/mpi changes.

@@ -17,17 +17,20 @@ bool trace_wanted() noexcept {
   return g_collector != nullptr && g_collector->want_trace;
 }
 
-void absorb_trace(const sim::Tracer& src, std::size_t first_state,
-                  std::size_t first_message) {
+void absorb_trace(const sim::Tracer& src, const sim::TraceMark& mark) {
   if (!trace_wanted()) return;
   sim::Tracer& dst = g_collector->trace;
-  const auto& states = src.states();
-  for (std::size_t i = first_state; i < states.size(); ++i) {
-    const auto& iv = states[i];
-    dst.record_state(iv.node, iv.state, iv.begin, iv.end);
+  const auto& by_node = src.states_by_node();
+  for (std::size_t n = 0; n < by_node.size(); ++n) {
+    const std::size_t first =
+        n < mark.states_per_node.size() ? mark.states_per_node[n] : 0;
+    for (std::size_t i = first; i < by_node[n].size(); ++i) {
+      const auto& iv = by_node[n][i];
+      dst.record_state(iv.node, iv.state, iv.begin, iv.end);
+    }
   }
   const auto& messages = src.messages();
-  for (std::size_t i = first_message; i < messages.size(); ++i) {
+  for (std::size_t i = mark.messages; i < messages.size(); ++i) {
     const auto& m = messages[i];
     dst.record_message(m.src, m.dst, m.send_time, m.recv_time, m.bytes, m.tag);
   }

@@ -39,13 +39,12 @@ Registry* metrics() noexcept;
 /// True when the ambient collector wants an execution trace recorded.
 bool trace_wanted() noexcept;
 
-/// Appends a suffix of `src`'s records (everything from index
-/// `first_state`/`first_message` on) to the ambient collector's trace.
-/// The cluster runtime uses this to absorb only the records produced by
-/// the current run when one point runs the cluster several times.
-/// No-op when no collector is open or tracing was not requested.
-void absorb_trace(const sim::Tracer& src, std::size_t first_state,
-                  std::size_t first_message);
+/// Appends the suffix of `src`'s records past `mark` (see sim::TraceMark)
+/// to the ambient collector's trace. The cluster runtime uses this to
+/// absorb only the records produced by the current run when one point runs
+/// the cluster several times. No-op when no collector is open or tracing
+/// was not requested.
+void absorb_trace(const sim::Tracer& src, const sim::TraceMark& mark);
 
 /// Opens `c` as the ambient collector for the current scope, restoring the
 /// previous one (usually none) on exit.

@@ -1,7 +1,12 @@
 #include "runtime/cluster.hpp"
 
+#include <algorithm>
 #include <cstdlib>
 #include <deque>
+#include <iostream>
+#include <mutex>
+#include <set>
+#include <sstream>
 #include <stdexcept>
 #include <string>
 #include <utility>
@@ -67,11 +72,15 @@ RunResult collect(sim::Engine& engine, std::deque<NodeCtx>& ctxs) {
   // are harvested here rather than self-attached.
   if (obs::Registry* m = obs::metrics()) {
     m->counter("sim.engine.events")->add(engine.events_processed());
-    m->gauge("sim.engine.queue_depth")
-        ->sample(static_cast<double>(engine.max_queue_depth()));
+    // The per-shard max queue depth depends on how nodes were laid out
+    // across shards, so windowed (partitioned) runs must not export it:
+    // metrics snapshots are byte-identical at any --engine-threads value.
+    if (!engine.sharding().windowed) {
+      m->gauge("sim.engine.queue_depth")
+          ->sample(static_cast<double>(engine.max_queue_depth()));
+    }
     // The conservative window bound, for sanity-checking sharded runs. The
-    // thread count is deliberately NOT exported: metrics snapshots must be
-    // byte-identical at any --engine-threads value.
+    // thread count is deliberately NOT exported, for the same reason.
     m->gauge("sim.engine.lookahead_ps")
         ->sample(static_cast<double>(engine.sharding().lookahead));
   }
@@ -84,14 +93,11 @@ RunResult collect(sim::Engine& engine, std::deque<NodeCtx>& ctxs) {
 class TraceCapture {
  public:
   explicit TraceCapture(sim::Tracer& tracer)
-      : tracer_(tracer),
-        was_enabled_(tracer.enabled()),
-        first_state_(tracer.states().size()),
-        first_message_(tracer.messages().size()) {
+      : tracer_(tracer), was_enabled_(tracer.enabled()), mark_(tracer.mark()) {
     if (obs::trace_wanted()) tracer_.set_enabled(true);
   }
   ~TraceCapture() {
-    obs::absorb_trace(tracer_, first_state_, first_message_);
+    obs::absorb_trace(tracer_, mark_);
     tracer_.set_enabled(was_enabled_);
   }
   TraceCapture(const TraceCapture&) = delete;
@@ -104,34 +110,75 @@ class TraceCapture {
  private:
   sim::Tracer& tracer_;
   bool was_enabled_;
-  std::size_t first_state_;
-  std::size_t first_message_;
+  sim::TraceMark mark_;
 };
 
-// Shard count stays 1 for cluster runs: the fabric models are shared
-// mutable state, and partitioning them per shard is the staged follow-up
-// (DESIGN.md §12; `dvx_analyze` enumerates the blockers). The window
-// parameters are still configured — threads (explicit config, else
-// DVX_ENGINE_THREADS / set_default_engine_threads) and the physical
-// lookahead bound — so the sharded path lights up for any workload that
-// opts into shards > 1, and so the bound is recorded in metrics for
-// every run.
-void configure_single_shard(sim::Engine& engine, const ClusterConfig& config,
-                            sim::Duration lookahead) {
-  const int threads =
-      config.engine_threads > 0 ? config.engine_threads : default_engine_threads();
-  engine.configure_sharding(
-      {.shards = 1, .threads = threads, .lookahead = lookahead});
+/// One stderr line per unique execution plan (satellite of ISSUE 10: the
+/// old configure_single_shard silently clamped every run to one shard).
+/// Deliberately NOT a metric — the plan depends on --engine-threads, and
+/// metrics snapshots must not.
+void report_shard_plan(const ClusterConfig& config, const ShardPlan& plan) {
+  std::ostringstream os;
+  os << "dvx: cluster sharding: nodes=" << config.nodes
+     << " shards=" << plan.shards << " threads=" << plan.threads
+     << " lookahead_ps=" << plan.lookahead
+     << (plan.windowed ? " windowed" : " serial");
+  static std::mutex mu;
+  static std::set<std::string>* seen = new std::set<std::string>();
+  const std::lock_guard<std::mutex> lock(mu);
+  if (seen->insert(os.str()).second) std::cerr << os.str() << "\n";
+}
+
+/// Applies the resolved plan to a fresh engine and reports it.
+ShardPlan apply_sharding(sim::Engine& engine, const ClusterConfig& config,
+                         sim::Duration lookahead) {
+  const ShardPlan plan = Cluster::resolve_sharding(config, lookahead);
+  report_shard_plan(config, plan);
+  engine.configure_sharding({.shards = plan.shards,
+                             .threads = plan.threads,
+                             .lookahead = plan.lookahead,
+                             .windowed = plan.windowed});
+  return plan;
 }
 
 }  // namespace
 
+ShardPlan Cluster::resolve_sharding(const ClusterConfig& config,
+                                    sim::Duration lookahead) {
+  ShardPlan plan;
+  plan.threads =
+      config.engine_threads > 0 ? config.engine_threads : default_engine_threads();
+  plan.lookahead = lookahead;
+  if (lookahead > 0) {
+    // Windowed even at one shard: every layout then shares the same
+    // window-close resolution semantics, which is what makes shards=1 and
+    // shards=N trajectories byte-identical (DESIGN.md §15).
+    plan.windowed = true;
+    plan.shards = std::min(plan.threads, config.nodes);
+  }
+  return plan;
+}
+
+std::vector<int> Cluster::shard_map(int nodes, int shards) {
+  if (nodes <= 0) return {};
+  if (shards < 1) shards = 1;
+  std::vector<int> map(static_cast<std::size_t>(nodes));
+  for (int r = 0; r < nodes; ++r) {
+    map[static_cast<std::size_t>(r)] = static_cast<int>(
+        static_cast<std::int64_t>(r) * shards / nodes);
+  }
+  return map;
+}
+
 RunResult Cluster::run_dv(const DvProgram& program) {
   const check::ScopedBackend check_backend("dv");
   TraceCapture capture(tracer_);
+  tracer_.ensure_nodes(config_.nodes);
   sim::Engine engine;
   vic::DvFabric fabric(engine, config_.nodes, config_.dv);
-  configure_single_shard(engine, config_, fabric.min_remote_latency());
+  const ShardPlan plan = apply_sharding(engine, config_, fabric.min_remote_latency());
+  if (plan.windowed) fabric.configure_partition(plan.shards);
+  const std::vector<int> node_shard = shard_map(config_.nodes, plan.shards);
   CostModel cost(config_.cost);
   std::deque<dvapi::DvContext> dv_ctxs;
   std::deque<NodeCtx> node_ctxs;
@@ -140,8 +187,12 @@ RunResult Cluster::run_dv(const DvProgram& program) {
     node_ctxs.emplace_back(engine, cost, tracer_, r);
   }
   for (int r = 0; r < config_.nodes; ++r) {
+    // The explicit shard pins every rank's coroutine (and everything it
+    // schedules locally) to its partition; the default would put all roots
+    // on shard 0.
     engine.spawn(program(dv_ctxs[static_cast<std::size_t>(r)],
-                         node_ctxs[static_cast<std::size_t>(r)]));
+                         node_ctxs[static_cast<std::size_t>(r)]),
+                 /*start=*/-1, node_shard[static_cast<std::size_t>(r)]);
   }
   return collect(engine, node_ctxs);
 }
@@ -151,6 +202,7 @@ RunResult Cluster::run_mpi(const MpiProgram& program) {
   // so invariant-failure JSON distinguishes the fabrics.
   const check::ScopedBackend check_backend(to_string(config_.mpi_fabric));
   TraceCapture capture(tracer_);
+  tracer_.ensure_nodes(config_.nodes);
   sim::Engine engine;
   std::unique_ptr<net::Interconnect> fabric;
   switch (config_.mpi_fabric) {
@@ -162,16 +214,19 @@ RunResult Cluster::run_mpi(const MpiProgram& program) {
       break;
   }
   // The lookahead comes from the interconnect's own conservative bound.
-  configure_single_shard(engine, config_, fabric->lookahead());
+  const ShardPlan plan = apply_sharding(engine, config_, fabric->lookahead());
+  const std::vector<int> node_shard = shard_map(config_.nodes, plan.shards);
   mpi::MpiWorld world(engine, std::move(fabric), config_.nodes, config_.mpi,
                       capture.tracer_or_null());
+  if (plan.windowed) world.configure_partition(node_shard);
   CostModel cost(config_.cost);
   std::deque<NodeCtx> node_ctxs;
   for (int r = 0; r < config_.nodes; ++r) {
     node_ctxs.emplace_back(engine, cost, tracer_, r);
   }
   for (int r = 0; r < config_.nodes; ++r) {
-    engine.spawn(program(world.comm(r), node_ctxs[static_cast<std::size_t>(r)]));
+    engine.spawn(program(world.comm(r), node_ctxs[static_cast<std::size_t>(r)]),
+                 /*start=*/-1, node_shard[static_cast<std::size_t>(r)]);
   }
   return collect(engine, node_ctxs);
 }

@@ -6,6 +6,7 @@
 
 #include <functional>
 #include <memory>
+#include <vector>
 
 #include "dvapi/context.hpp"
 #include "ib/topology.hpp"
@@ -39,9 +40,21 @@ struct ClusterConfig {
   CostParams cost{};
   bool trace = false;  ///< record Extrae-style state/message traces
   /// Worker threads for the engine's sharded execution mode (0 = process
-  /// default, see default_engine_threads()). Pure execution parallelism:
-  /// results are byte-identical at any value (DESIGN.md §12).
+  /// default, see default_engine_threads()). The cluster partitions its
+  /// fabric across min(threads, nodes) shards (DESIGN.md §15). Pure
+  /// execution parallelism: results are byte-identical at any value.
   int engine_threads = 0;
+};
+
+/// Resolved execution plan for one cluster run: how many shards the fabric
+/// is partitioned into, how many worker threads drive them, and the
+/// conservative window bound. A pure function of (ClusterConfig, fabric
+/// lookahead) — see Cluster::resolve_sharding.
+struct ShardPlan {
+  int shards = 1;
+  int threads = 1;
+  sim::Duration lookahead = 0;
+  bool windowed = false;
 };
 
 /// Process-wide default for ClusterConfig::engine_threads == 0: the
@@ -74,6 +87,20 @@ class Cluster {
 
   /// Runs one MPI-over-InfiniBand program per rank on a fresh fabric.
   RunResult run_mpi(const MpiProgram& program);
+
+  /// The execution plan a cluster with this config uses for a fabric with
+  /// the given conservative lookahead bound: threads from the config (else
+  /// the process default), shards = min(threads, nodes), windowed whenever
+  /// the bound is positive. Cluster runs are windowed even at shards == 1,
+  /// so every shard count shares one resolution semantics and sweeps are
+  /// byte-identical across --engine-threads values (DESIGN.md §15).
+  static ShardPlan resolve_sharding(const ClusterConfig& config,
+                                    sim::Duration lookahead);
+
+  /// Deterministic node -> shard map: contiguous balanced blocks, node r on
+  /// shard floor(r * shards / nodes). A pure function of its arguments —
+  /// every shard owns at least one node when shards <= nodes.
+  static std::vector<int> shard_map(int nodes, int shards);
 
  private:
   ClusterConfig config_;

@@ -40,14 +40,11 @@ constexpr std::uint32_t payload_addr(int src_rank) {
          static_cast<std::uint32_t>(src_rank) * kPayloadSlotWords;
 }
 
-/// Cross-rank tallies, indexed by tenant. Host-side shared state is safe:
-/// cluster runs execute all rank coroutines on one engine shard, in
-/// deterministic DES order.
+/// Ambient obs mirrors, indexed by tenant (null when nothing collects).
+/// Counters are relaxed-atomic, so injectors on any shard tick them inline;
+/// the latency histogram is order-dependent and is folded once at finish()
+/// from the per-rank trackers (DESIGN.md §15).
 struct Tally {
-  std::vector<AdmissionCounters> admission;
-  std::vector<std::uint64_t> served;
-  std::vector<TailLatency> latency;
-  // Ambient obs mirrors (null when nothing collects).
   std::vector<obs::Histogram*> obs_latency;
   std::vector<obs::Counter*> obs_accepted;
   std::vector<obs::Counter*> obs_shed;
@@ -58,6 +55,11 @@ struct RankState {
       : queue(engine), reply_cond(engine), done_cond(engine) {
     sent_to.assign(static_cast<std::size_t>(nodes), 0);
   }
+  // Per-tenant tallies, rank-local so sharded cluster runs never share
+  // them; finish() merges in rank order (layout-invariant).
+  std::vector<AdmissionCounters> admission;
+  std::vector<std::uint64_t> served;
+  std::vector<TailLatency> latency;
   sim::Mailbox<const Request*> queue;  ///< admitted requests (null = no more)
   std::vector<TokenBucket> buckets;    ///< per tenant; empty when bucket off
   std::int64_t queue_len = 0;          ///< admitted but unfinished
@@ -75,9 +77,6 @@ struct Session {
   Session(const ArrivalTrace& t, const SessionConfig& c, int nodes)
       : trace(t), cfg(c) {
     const std::size_t nt = t.tenants.size();
-    tally.admission.assign(nt, {});
-    tally.served.assign(nt, 0);
-    tally.latency.assign(nt, {});
     tally.obs_latency.assign(nt, nullptr);
     tally.obs_accepted.assign(nt, nullptr);
     tally.obs_shed.assign(nt, nullptr);
@@ -113,19 +112,22 @@ struct Session {
 };
 
 void init_rank(Session& s, RankState& st) {
+  const std::size_t nt = s.trace.tenants.size();
+  st.admission.assign(nt, {});
+  st.served.assign(nt, 0);
+  st.latency.assign(nt, {});
   if (!s.cfg.admission.token_bucket) return;
-  st.buckets.reserve(s.trace.tenants.size());
+  st.buckets.reserve(nt);
   for (double rate : s.bucket_rate) {
     st.buckets.emplace_back(rate, s.cfg.admission.bucket_burst);
   }
 }
 
-void record_latency(Session& s, const Request& r, sim::Duration lat_ps) {
+void record_latency(RankState& st, const Request& r, sim::Duration lat_ps) {
   const auto ns =
       static_cast<std::uint64_t>(lat_ps < 0 ? 0 : lat_ps) / 1000;
-  s.tally.latency[r.tenant].record_ns(ns);
-  ++s.tally.served[r.tenant];
-  if (s.tally.obs_latency[r.tenant]) s.tally.obs_latency[r.tenant]->observe(ns);
+  st.latency[r.tenant].record_ns(ns);
+  ++st.served[r.tenant];
 }
 
 /// Open-loop injection: wake at each offered arrival, admit or shed, hand
@@ -135,7 +137,7 @@ sim::Coro<void> injector(sim::Engine& engine, Session& s, RankState& st,
   const AdmissionConfig& adm = s.cfg.admission;
   for (const Request* r : s.local[static_cast<std::size_t>(rank)]) {
     co_await engine.resume_at(t0 + r->arrival);
-    AdmissionCounters& counters = s.tally.admission[r->tenant];
+    AdmissionCounters& counters = st.admission[r->tenant];
     ++counters.offered;
     if (adm.queue_shed && st.queue_len >= adm.max_queue_depth) {
       ++counters.shed_queue;
@@ -180,7 +182,7 @@ sim::Coro<void> serve_one_mpi(mpi::Comm comm, runtime::NodeCtx& node,
     ops.push_back(comm.isend(peer, kReqTag, std::move(data)));
   }
   co_await comm.wait_all(std::move(ops));
-  record_latency(s, r, node.now() - (t0 + r.arrival));
+  record_latency(st, r, node.now() - (t0 + r.arrival));
   --st.queue_len;
 }
 
@@ -228,7 +230,7 @@ sim::Coro<void> serve_one_dv(dvapi::DvContext& ctx, runtime::NodeCtx& node,
         peer, encode_word(MsgKind::kRequest, ctx.rank(), r.payload_words));
   }
   while (st.replies_pending > 0) co_await st.reply_cond.wait();
-  record_latency(s, r, node.now() - (t0 + r.arrival));
+  record_latency(st, r, node.now() - (t0 + r.arrival));
   --st.queue_len;
 }
 
@@ -259,11 +261,25 @@ sim::Coro<void> dispatcher_dv(dvapi::DvContext& ctx, runtime::NodeCtx& node,
 }
 
 ServeReport finish(Session& s, double roi_seconds) {
+  // Merge the rank-local tallies in rank order — a deterministic fold that
+  // does not depend on how ranks were laid out across shards.
+  const std::size_t nt = s.trace.tenants.size();
+  std::vector<AdmissionCounters> admission(nt);
+  std::vector<std::uint64_t> served(nt, 0);
+  std::vector<TailLatency> latency(nt);
+  for (const auto& rank : s.ranks) {
+    if (!rank || rank->admission.empty()) continue;
+    for (std::size_t i = 0; i < nt; ++i) {
+      admission[i].merge(rank->admission[i]);
+      served[i] += rank->served[i];
+      latency[i].merge(rank->latency[i]);
+    }
+  }
   ServeReport report;
   report.roi_seconds = roi_seconds;
-  report.tenants.reserve(s.trace.tenants.size());
-  for (std::size_t i = 0; i < s.trace.tenants.size(); ++i) {
-    const AdmissionCounters& adm = s.tally.admission[i];
+  report.tenants.reserve(nt);
+  for (std::size_t i = 0; i < nt; ++i) {
+    const AdmissionCounters& adm = admission[i];
     // Conservation invariants (ISSUE: level-1): every offered request was
     // either accepted or shed, and every accepted request was served —
     // the session never silently drops work.
@@ -273,14 +289,17 @@ ServeReport finish(Session& s, double roi_seconds) {
     DVX_CHECK_EQ(adm.offered, s.trace.offered_per_tenant[i])
         << "serve injector lost offered requests for tenant "
         << s.trace.tenants[i].name << ". ";
-    DVX_CHECK_EQ(s.tally.served[i], adm.accepted)
+    DVX_CHECK_EQ(served[i], adm.accepted)
         << "serve session dropped accepted requests for tenant "
         << s.trace.tenants[i].name << ". ";
+    if (s.tally.obs_latency[i] != nullptr) {
+      s.tally.obs_latency[i]->absorb(latency[i].histogram());
+    }
     TenantOutcome out;
     out.name = s.trace.tenants[i].name;
     out.admission = adm;
-    out.served = s.tally.served[i];
-    out.latency = s.tally.latency[i];
+    out.served = served[i];
+    out.latency = latency[i];
     report.tenants.push_back(std::move(out));
   }
   return report;

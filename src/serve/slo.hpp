@@ -19,6 +19,11 @@ class TailLatency {
  public:
   void record_ns(std::uint64_t ns) { hist_.observe(ns); }
 
+  /// Folds another tracker in (exact buckets, pairwise-merged moments).
+  /// Partitioned serve sessions keep per-rank trackers and fold in rank
+  /// order at session end, so the result is shard-layout-invariant.
+  void merge(const TailLatency& other) { hist_.absorb(other.hist_); }
+
   std::uint64_t count() const noexcept { return hist_.stats().count(); }
   double mean_ns() const noexcept { return hist_.stats().mean(); }
   double p50_ns() const { return hist_.buckets().quantile(0.5); }

@@ -49,8 +49,8 @@ Time Engine::now() const noexcept {
 void Engine::configure_sharding(const ShardingConfig& config) {
   DVX_CHECK(config.shards >= 1) << "sharding needs at least one shard";
   DVX_CHECK(config.threads >= 1) << "sharding needs at least one thread";
-  DVX_CHECK(config.shards == 1 || config.lookahead > 0)
-      << "sharded execution needs a positive conservative lookahead";
+  DVX_CHECK((config.shards == 1 && !config.windowed) || config.lookahead > 0)
+      << "sharded/windowed execution needs a positive conservative lookahead";
   for (const auto& s : shards_) {
     DVX_CHECK(s.heap.size() <= kHeapPad)
         << "cannot reconfigure sharding with events pending";
@@ -245,6 +245,17 @@ void Engine::schedule(Time t, std::function<void()> fn, int shard) {
   push_event(s, t, /*callback=*/true, {}, std::move(fn));
 }
 
+void Engine::add_window_hook(const void* owner, std::function<void()> hook) {
+  DVX_CHECK(owner != nullptr && hook != nullptr);
+  remove_window_hook(owner);
+  window_hooks_.emplace_back(owner, std::move(hook));
+}
+
+void Engine::remove_window_hook(const void* owner) noexcept {
+  std::erase_if(window_hooks_,
+                [owner](const auto& h) { return h.first == owner; });
+}
+
 void Engine::add_auditor(check::InvariantAuditor* auditor) {
   DVX_CHECK(auditor != nullptr);
   auditors_.push_back(auditor);
@@ -317,7 +328,8 @@ void Engine::dispatch_one(Shard& s) {
 }
 
 Time Engine::run() {
-  return shards_.size() == 1 ? run_serial() : run_sharded();
+  return (shards_.size() == 1 && !sharding_.windowed) ? run_serial()
+                                                      : run_sharded();
 }
 
 Time Engine::run_serial() {
@@ -437,6 +449,10 @@ Time Engine::run_sharded() {
 
   auto after_window = [this] {
     rethrow_shard_failure();
+    // Window hooks run in registration order on this (coordinator) thread,
+    // outside any shard context: fabric models resolve their staged
+    // cross-shard operations here in a canonical, layout-invariant order.
+    for (auto& [owner, hook] : window_hooks_) hook();
     merge_mailboxes();
     if (audit_interval_ != 0) {
       const std::uint64_t total = events_processed();

@@ -52,7 +52,12 @@ namespace dvx::sim {
 struct ShardingConfig {
   int shards = 1;        ///< event-ordering domains (>= 1)
   int threads = 1;       ///< worker threads inside a window (>= 1)
-  Duration lookahead = 0;  ///< window width; must be > 0 when shards > 1
+  Duration lookahead = 0;  ///< window width; must be > 0 when windowed
+  /// Forces the windowed (lookahead + barrier) execution path even at
+  /// shards == 1. Partitioned fabric models resolve their staged operations
+  /// at window boundaries, so a cluster run at any shard count must use the
+  /// same windowed trajectory for its output to be shard-count-invariant.
+  bool windowed = false;
 };
 
 class Engine {
@@ -110,6 +115,21 @@ class Engine {
   void add_auditor(check::InvariantAuditor* auditor);
   /// Unregisters; no-op when the auditor was never added.
   void remove_auditor(check::InvariantAuditor* auditor) noexcept;
+
+  /// Registers a window-close hook keyed by `owner` (one hook per owner).
+  /// Hooks run on the coordinator thread at every window barrier — after all
+  /// shards finished the window, before the engine mailbox merge — in
+  /// registration order. Partitioned fabric models use them to resolve their
+  /// per-shard staged operations in a canonical order; every event a hook
+  /// schedules must land at or after the closing window's end. Only
+  /// meaningful in windowed mode (serial runs never invoke hooks).
+  void add_window_hook(const void* owner, std::function<void()> hook);
+  /// Unregisters; no-op when the owner never added a hook.
+  void remove_window_hook(const void* owner) noexcept;
+
+  /// Exclusive upper bound of the window being closed (valid inside window
+  /// hooks); hooks use it to clamp resolution-scheduled times.
+  Time window_end() const noexcept { return window_end_; }
 
   /// Events between automatic audit sweeps; 0 disables the cadence (the
   /// drain-time sweep still runs). Defaults to check::default_audit_interval()
@@ -270,6 +290,7 @@ class Engine {
   std::deque<Root> roots_;     // deque: &done must stay stable
   std::mutex spawn_mutex_;     // spawn() may be called from window workers
   std::vector<check::InvariantAuditor*> auditors_;
+  std::vector<std::pair<const void*, std::function<void()>>> window_hooks_;
   std::uint64_t audit_interval_ = 0;  // ctor sets the level-dependent default
   std::uint64_t audits_run_ = 0;
   std::uint64_t last_audit_events_ = 0;  ///< sharded-mode cadence bookkeeping

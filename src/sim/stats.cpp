@@ -48,6 +48,16 @@ void LogHistogram::add(std::uint64_t value) {
   ++total_;
 }
 
+void LogHistogram::merge(const LogHistogram& other) {
+  if (other.buckets_.size() > buckets_.size()) {
+    buckets_.resize(other.buckets_.size(), 0);
+  }
+  for (std::size_t b = 0; b < other.buckets_.size(); ++b) {
+    buckets_[b] += other.buckets_[b];
+  }
+  total_ += other.total_;
+}
+
 double LogHistogram::quantile(double q) const {
   if (total_ == 0) return 0.0;
   q = std::clamp(q, 0.0, 1.0);

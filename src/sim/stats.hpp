@@ -35,6 +35,9 @@ class RunningStats {
 class LogHistogram {
  public:
   void add(std::uint64_t value);
+  /// Folds another histogram in (bucketwise sum). Exact: the result equals
+  /// replaying both add() streams in any order.
+  void merge(const LogHistogram& other);
   std::uint64_t count() const noexcept { return total_; }
   /// Bucket b counts values in [2^b, 2^(b+1)) (bucket 0 holds 0 and 1).
   const std::vector<std::uint64_t>& buckets() const noexcept { return buckets_; }

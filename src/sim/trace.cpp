@@ -31,9 +31,20 @@ double StateSummary::fraction(NodeState s) const {
   return static_cast<double>(per_state[static_cast<int>(s)]) / static_cast<double>(t);
 }
 
+void Tracer::ensure_nodes(int nodes) {
+  if (nodes > 0 && static_cast<std::size_t>(nodes) > states_by_node_.size()) {
+    states_by_node_.resize(static_cast<std::size_t>(nodes));
+  }
+}
+
 void Tracer::record_state(int node, NodeState s, Time begin, Time end) {
   if (!enabled_ || end <= begin) return;
-  states_.push_back(StateInterval{node, s, begin, end});
+  const auto idx = static_cast<std::size_t>(node < 0 ? 0 : node);
+  // Growth happens only in single-threaded contexts; concurrent recorders
+  // must have been preceded by ensure_nodes().
+  if (idx >= states_by_node_.size()) states_by_node_.resize(idx + 1);
+  states_by_node_[idx].push_back(StateInterval{node, s, begin, end});
+  flat_dirty_.store(true, std::memory_order_relaxed);
 }
 
 void Tracer::record_message(int src, int dst, Time send_time, Time recv_time,
@@ -42,9 +53,32 @@ void Tracer::record_message(int src, int dst, Time send_time, Time recv_time,
   messages_.push_back(MessageRecord{src, dst, send_time, recv_time, bytes, tag});
 }
 
+const std::vector<StateInterval>& Tracer::states() const {
+  if (flat_dirty_.exchange(false, std::memory_order_relaxed)) {
+    flat_states_.clear();
+    std::size_t total = 0;
+    for (const auto& bucket : states_by_node_) total += bucket.size();
+    flat_states_.reserve(total);
+    for (const auto& bucket : states_by_node_) {
+      flat_states_.insert(flat_states_.end(), bucket.begin(), bucket.end());
+    }
+  }
+  return flat_states_;
+}
+
+TraceMark Tracer::mark() const {
+  TraceMark m;
+  m.states_per_node.reserve(states_by_node_.size());
+  for (const auto& bucket : states_by_node_) {
+    m.states_per_node.push_back(bucket.size());
+  }
+  m.messages = messages_.size();
+  return m;
+}
+
 std::map<int, StateSummary> Tracer::state_summary() const {
   std::map<int, StateSummary> out;
-  for (const auto& iv : states_) {
+  for (const auto& iv : states()) {
     out[iv.node].per_state[static_cast<int>(iv.state)] += iv.end - iv.begin;
   }
   return out;
@@ -79,7 +113,7 @@ void Tracer::write_csv(const std::string& path) const {
   std::ofstream f(path);
   if (!f) throw std::runtime_error("Tracer: cannot open " + path);
   f << "kind,a,b,t0_ps,t1_ps,bytes,tag\n";
-  for (const auto& iv : states_) {
+  for (const auto& iv : states()) {
     f << "state," << iv.node << ',' << to_string(iv.state) << ',' << iv.begin << ','
       << iv.end << ",,\n";
   }
@@ -90,10 +124,11 @@ void Tracer::write_csv(const std::string& path) const {
 }
 
 std::string Tracer::ascii_timeline(int columns) const {
-  if (states_.empty()) return "(empty trace)\n";
-  Time t0 = states_.front().begin, t1 = states_.front().end;
+  const auto& all = states();
+  if (all.empty()) return "(empty trace)\n";
+  Time t0 = all.front().begin, t1 = all.front().end;
   int max_node = 0;
-  for (const auto& iv : states_) {
+  for (const auto& iv : all) {
     t0 = std::min(t0, iv.begin);
     t1 = std::max(t1, iv.end);
     max_node = std::max(max_node, iv.node);
@@ -108,7 +143,7 @@ std::string Tracer::ascii_timeline(int columns) const {
       static_cast<std::size_t>(max_node + 1),
       std::vector<Duration>(static_cast<std::size_t>(columns) * kNodeStateCount, 0));
   const double scale = static_cast<double>(columns) / static_cast<double>(t1 - t0);
-  for (const auto& iv : states_) {
+  for (const auto& iv : all) {
     int c0 = static_cast<int>(static_cast<double>(iv.begin - t0) * scale);
     int c1 = static_cast<int>(static_cast<double>(iv.end - t0) * scale);
     c0 = std::clamp(c0, 0, columns - 1);
@@ -142,8 +177,10 @@ std::string Tracer::ascii_timeline(int columns) const {
 }
 
 void Tracer::clear() {
-  states_.clear();
+  states_by_node_.clear();
   messages_.clear();
+  flat_states_.clear();
+  flat_dirty_.store(false, std::memory_order_relaxed);
 }
 
 }  // namespace dvx::sim

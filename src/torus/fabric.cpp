@@ -62,7 +62,7 @@ void Fabric::reset() {
   DVX_SHARD_GUARDED("torus.Fabric", -1);
   std::fill(link_free_.begin(), link_free_.end(), 0);
   std::fill(nic_gate_.begin(), nic_gate_.end(), 0);
-  bytes_sent_ = 0;
+  bytes_sent_.store(0, std::memory_order_relaxed);
   link_bytes_ = 0;
   expected_link_bytes_ = 0;
 }
@@ -124,18 +124,26 @@ void Fabric::build_path(int src, int dst, std::vector<std::size_t>& path) const 
 
 MsgTiming Fabric::send_message(int src, int dst, std::int64_t bytes,
                                sim::Time ready) {
-  DVX_SHARD_GUARDED("torus.Fabric", -1);
   if (src < 0 || src >= nodes_ || dst < 0 || dst >= nodes_) {
     throw std::out_of_range("torus::Fabric::send_message: node out of range");
   }
   if (bytes <= 0) bytes = 1;
-  bytes_sent_ += bytes;
+  bytes_sent_.fetch_add(bytes, std::memory_order_relaxed);
 
   if (src == dst) {
-    // Loopback: the MPI runtime short-circuits through shared memory.
+    // Loopback: the MPI runtime short-circuits through shared memory. Pure
+    // local math plus the atomic tally above, so this path may run on the
+    // caller's shard mid-window (recorded per source rank, not as a write
+    // to the shared ledgers).
+    DVX_SHARD_ACCESS("torus.Fabric", src, kWrite);
     const sim::Time done = ready + sim::transfer_time(bytes, params_.memcpy_bw);
     return MsgTiming{done, done};
   }
+
+  // Everything below mutates the shared link/NIC ledgers, conservation
+  // counters and obs instruments: windowed runs reach here only from the
+  // canonical window-close replay.
+  DVX_SHARD_GUARDED("torus.Fabric", -1);
 
   // Message-rate gate: the NIC cannot start messages faster than msg_rate.
   auto& gate = nic_gate_[static_cast<std::size_t>(src)];
@@ -143,9 +151,8 @@ MsgTiming Fabric::send_message(int src, int dst, std::int64_t bytes,
   const sim::Time start = std::max(ready, gate);
   gate = start + gap;
 
-  path_scratch_.clear();
-  build_path(src, dst, path_scratch_);
-  const auto& path = path_scratch_;
+  std::vector<std::size_t> path;
+  build_path(src, dst, path);
   const auto per_dim = dim_hops(src, dst);
   // Dimension-order routing is minimal: the path is exactly the wraparound
   // Manhattan distance, never more than half of each dimension.

@@ -22,6 +22,7 @@
 // mpi::MpiWorld runs over it unchanged.
 
 #include <array>
+#include <atomic>
 #include <cstdint>
 #include <vector>
 
@@ -46,7 +47,11 @@ struct TorusParams {
 
 using MsgTiming = net::MsgTiming;
 
-// dvx-analyze: shared-across-shards
+// Partitioned contract (DESIGN.md §15): the link/NIC ledgers, conservation
+// counters and obs instruments are touched only from the window-close
+// resolution (MpiWorld::resolve_window, instance -1); loopback sends run
+// concurrently on the caller's shard but reach only the atomic byte tally.
+// dvx-analyze: shard-partitioned
 class Fabric final : public net::Interconnect {
  public:
   explicit Fabric(int nodes, TorusParams params = {});
@@ -76,7 +81,9 @@ class Fabric final : public net::Interconnect {
                          sim::Time ready) override;
 
   /// Total bytes offered to the fabric so far (diagnostics).
-  std::int64_t bytes_sent() const noexcept override { return bytes_sent_; }
+  std::int64_t bytes_sent() const noexcept override {
+    return bytes_sent_.load(std::memory_order_relaxed);
+  }
 
   /// Total bytes serialized across all directed links. Conservation: equals
   /// the sum over messages of bytes * hops(src, dst); audited at check
@@ -111,8 +118,8 @@ class Fabric final : public net::Interconnect {
   std::array<int, 3> dims_;
   std::vector<sim::Time> link_free_;
   std::vector<sim::Time> nic_gate_;  ///< message-rate gate per NIC
-  std::vector<std::size_t> path_scratch_;  ///< reused route buffer
-  std::int64_t bytes_sent_ = 0;
+  // Atomic so loopback sends can tally from any shard mid-window.
+  std::atomic<std::int64_t> bytes_sent_{0};
   std::int64_t link_bytes_ = 0;           ///< bytes serialized over links
   std::int64_t expected_link_bytes_ = 0;  ///< sum of bytes * hops per message
   // obs instrumentation (null when nothing collects): per-dimension hop

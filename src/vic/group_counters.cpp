@@ -23,7 +23,10 @@ void GroupCounter::set(sim::Time at, std::uint64_t v) {
   value_ = v;
   settle_ = std::max(settle_, std::max(at, engine_.now()));
   // Waiters re-evaluate immediately; they sleep towards the settle time.
-  cond_.notify_all(engine_.now());
+  // Windowed engines mutate counters from the window-close resolution (clock
+  // at the window floor, behind the waiters' shards), so the notify carries
+  // the physical settle time instead.
+  cond_.notify_all(engine_.sharding().windowed ? settle_ : engine_.now());
 }
 
 void GroupCounter::decrement(sim::Time at_last, std::uint64_t n) {
@@ -38,7 +41,7 @@ void GroupCounter::decrement(sim::Time at_last, std::uint64_t n) {
   lost_ += n - applied;
   value_ -= applied;
   settle_ = std::max(settle_, std::max(at_last, engine_.now()));
-  cond_.notify_all(engine_.now());
+  cond_.notify_all(engine_.sharding().windowed ? settle_ : engine_.now());
 }
 
 sim::Coro<bool> GroupCounter::wait_zero(sim::Duration timeout) {

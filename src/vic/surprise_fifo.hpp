@@ -21,7 +21,7 @@
 
 namespace dvx::vic {
 
-// dvx-analyze: shared-across-shards
+// dvx-analyze: shard-partitioned
 class SurpriseFifo {
  public:
   /// "thousands of 8-byte messages": default ring of 64 Ki entries.

@@ -70,7 +70,27 @@ DvFabric::DvFabric(sim::Engine& engine, int nodes, DvFabricParams params)
   engine_.add_auditor(this);
 }
 
-DvFabric::~DvFabric() { engine_.remove_auditor(this); }
+DvFabric::~DvFabric() {
+  engine_.remove_auditor(this);
+  if (windowed_) engine_.remove_window_hook(this);
+}
+
+// dvx-analyze: allow(shard-partitioned) -- config-time, before any rank runs
+void DvFabric::configure_partition(int shards) {
+  DVX_CHECK(shards >= 1) << "partition needs at least one shard";
+  DVX_CHECK(engine_.sharding().windowed)
+      << "DvFabric::configure_partition requires a windowed engine";
+  windowed_ = true;
+  staged_.assign(static_cast<std::size_t>(shards), {});
+  barrier_staged_.assign(static_cast<std::size_t>(shards), {});
+  stage_seq_.assign(static_cast<std::size_t>(nodes()), 0);
+  barrier_conds_.clear();
+  barrier_conds_.reserve(static_cast<std::size_t>(nodes()));
+  for (int i = 0; i < nodes(); ++i) {
+    barrier_conds_.push_back(std::make_unique<sim::Condition>(engine_));
+  }
+  engine_.add_window_hook(this, [this] { resolve_window(); });
+}
 
 void DvFabric::audit(std::int64_t now_ps) {
   DVX_SHARD_ACCESS("vic.DvFabric", -1, kRead);
@@ -88,6 +108,32 @@ void DvFabric::audit(std::int64_t now_ps) {
 
 dvnet::BurstTiming DvFabric::transmit(int src, std::span<const Packet> packets,
                                       sim::Time ready) {
+  if (packets.empty()) return dvnet::BurstTiming{ready, ready};
+  if (windowed_) {
+    if (resolving_) {
+      // A query reply emitted while the resolution replays deliveries: defer
+      // it to the in-resolution fixpoint queue (its ready time is already a
+      // physical arrival >= the closing window's end).
+      resolve_pending_.push_back(StagedBurst{
+          ready, src, 0, std::vector<Packet>(packets.begin(), packets.end())});
+      return dvnet::BurstTiming{ready, ready};
+    }
+    // Rank context: stage into the calling shard's ledger. Each src rank is
+    // dispatched by exactly one shard, so the per-src seq counter and the
+    // ledger slot are both single-writer.
+    DVX_SHARD_ACCESS("vic.DvFabric", src, kWrite);
+    const int cur = sim::Engine::current_shard();
+    auto& box = staged_[static_cast<std::size_t>(cur < 0 ? 0 : cur)];
+    box.push_back(
+        StagedBurst{ready, src, stage_seq_[static_cast<std::size_t>(src)]++,
+                    std::vector<Packet>(packets.begin(), packets.end())});
+    return dvnet::BurstTiming{ready, ready};
+  }
+  return transmit_now(src, packets, ready);
+}
+
+dvnet::BurstTiming DvFabric::transmit_now(int src, std::span<const Packet> packets,
+                                          sim::Time ready) {
   DVX_SHARD_GUARDED("vic.DvFabric", -1);
   if (packets.empty()) return dvnet::BurstTiming{ready, ready};
   dvnet::BurstTiming whole{0, 0};
@@ -121,7 +167,87 @@ dvnet::BurstTiming DvFabric::transmit(int src, std::span<const Packet> packets,
   return whole;
 }
 
+void DvFabric::resolve_window() {
+  // Window-close resolution (coordinator thread, outside any shard context):
+  // replay every staged burst against the switch model in canonical
+  // (ready, src, per-src seq) order — a pure function of the window's
+  // simulation content, identical at every shard layout and worker count.
+  std::vector<StagedBurst> batch;
+  for (auto& box : staged_) {
+    std::move(box.begin(), box.end(), std::back_inserter(batch));
+    box.clear();
+  }
+  if (!batch.empty()) {
+    std::sort(batch.begin(), batch.end(),
+              [](const StagedBurst& a, const StagedBurst& b) {
+                if (a.ready != b.ready) return a.ready < b.ready;
+                if (a.src != b.src) return a.src < b.src;
+                return a.seq < b.seq;
+              });
+    resolving_ = true;
+    for (const StagedBurst& b : batch) {
+      transmit_now(b.src, b.packets, b.ready);
+    }
+    // Fixpoint over query replies: delivering a kQuery packet re-transmits
+    // through the fabric; those bursts append to resolve_pending_ and are
+    // replayed in emission order (itself canonical) until none remain.
+    for (std::size_t i = 0; i < resolve_pending_.size(); ++i) {
+      const StagedBurst b = std::move(resolve_pending_[i]);
+      transmit_now(b.src, b.packets, b.ready);
+    }
+    resolve_pending_.clear();
+    resolving_ = false;
+  }
+  resolve_barrier_arrivals();
+}
+
+void DvFabric::resolve_barrier_arrivals() {
+  std::vector<BarrierArrival> arrivals;
+  for (auto& box : barrier_staged_) {
+    arrivals.insert(arrivals.end(), box.begin(), box.end());
+    box.clear();
+  }
+  if (arrivals.empty()) return;
+  std::sort(arrivals.begin(), arrivals.end(),
+            [](const BarrierArrival& a, const BarrierArrival& b) {
+              return a.at != b.at ? a.at < b.at : a.rank < b.rank;
+            });
+  for (const BarrierArrival& a : arrivals) {
+    DVX_CHECK(barrier_arrived_ < nodes())
+        << "barrier over-arrival in phase " << barrier_phase_;
+    barrier_latest_ = std::max(barrier_latest_, a.at);
+    if (++barrier_arrived_ == nodes()) {
+      const int levels = std::bit_width(static_cast<unsigned>(nodes() - 1));
+      sim::Time release = barrier_latest_ + params_.barrier_base +
+                          static_cast<sim::Duration>(levels) * params_.barrier_per_level;
+      // Defensive clamp: the release must not land behind any shard's clock.
+      // window_end() is layout-invariant, so the clamp (almost never active —
+      // the barrier base cost exceeds the fabric lookahead) cannot break the
+      // shards-1-vs-N identity.
+      release = std::max(release, engine_.window_end());
+      barrier_arrived_ = 0;
+      barrier_latest_ = 0;
+      ++barrier_phase_;
+      for (auto& cond : barrier_conds_) cond->notify_all(release);
+    }
+  }
+}
+
 sim::Coro<void> DvFabric::intrinsic_barrier(int rank) {
+  if (windowed_) {
+    // Stage the arrival in the calling shard's ledger; the VIC-side AND-tree
+    // completes at the window-close resolution, which computes the release
+    // time and wakes every rank through its own (rank-local) condition.
+    DVX_SHARD_ACCESS("vic.DvFabric", rank, kWrite);
+    const std::uint64_t my_phase = barrier_phase_;
+    const int cur = sim::Engine::current_shard();
+    barrier_staged_[static_cast<std::size_t>(cur < 0 ? 0 : cur)].push_back(
+        BarrierArrival{engine_.now(), rank});
+    sim::Condition& cond = *barrier_conds_[static_cast<std::size_t>(rank)];
+    while (barrier_phase_ == my_phase) co_await cond.wait();
+    DVX_CHECK(barrier_phase_ > my_phase) << "barrier phase went backwards";
+    co_return;
+  }
   DVX_SHARD_GUARDED("vic.DvFabric", -1);
   (void)rank;  // every VIC participates exactly once per phase
   const std::uint64_t my_phase = barrier_phase_;

@@ -41,7 +41,7 @@ struct VicParams {
 
 class DvFabric;
 
-// dvx-analyze: shared-across-shards
+// dvx-analyze: shard-partitioned
 class Vic {
  public:
   Vic(sim::Engine& engine, DvFabric& fabric, int id, const VicParams& params);
@@ -80,7 +80,15 @@ struct DvFabricParams {
 };
 
 /// The whole Data Vortex side of the cluster: one switch + N VICs.
-// dvx-analyze: shared-across-shards
+///
+/// Partitioned operation (DESIGN.md §15): configure_partition() switches the
+/// fabric into windowed mode, where rank-context transmits and barrier
+/// arrivals are staged into per-shard ledgers and resolved at the engine's
+/// window barrier in canonical (ready, src, per-src seq) order — the shared
+/// switch model and the destination VICs are then only ever mutated on the
+/// single resolution thread, making `shards > 1` legal with byte-identical
+/// output at any shard count.
+// dvx-analyze: shard-partitioned
 class DvFabric : public check::InvariantAuditor {
  public:
   DvFabric(sim::Engine& engine, int nodes, DvFabricParams params = {});
@@ -95,9 +103,21 @@ class DvFabric : public check::InvariantAuditor {
   /// Injects a batch of packets from `src`'s VIC, already resident on the
   /// card, first word able to enter the switch at `ready`. Consecutive
   /// packets to the same destination share one fabric burst. Returns the
-  /// (first, last) ejection times of the whole batch.
+  /// (first, last) ejection times of the whole batch. In windowed-partition
+  /// mode the burst is staged for the window-close resolution instead and
+  /// the returned timing is the placeholder (ready, ready) — no caller
+  /// consumes it (senders are paced by their PCIe/DMA hand-off times).
   dvnet::BurstTiming transmit(int src, std::span<const Packet> packets,
                               sim::Time ready);
+
+  /// Switches the fabric into windowed-partition mode for `shards` engine
+  /// shards. Call after Engine::configure_sharding({.windowed = true}) and
+  /// before any traffic; registers the window-close resolution hook with the
+  /// engine. Staged operations resolve in (ready, src, per-src seq) order,
+  /// which is a pure function of the simulation content — never of the
+  /// shard layout or worker count.
+  void configure_partition(int shards);
+  bool windowed() const noexcept { return windowed_; }
 
   /// Hardware barrier built on the two reserved counters: rank's VIC arrives
   /// at the current virtual time; resumes when every VIC has arrived plus
@@ -120,6 +140,24 @@ class DvFabric : public check::InvariantAuditor {
   void audit(std::int64_t now_ps) override;
 
  private:
+  /// One rank-context injection parked in its shard's ledger until the
+  /// window-close resolution replays it against the switch model.
+  struct StagedBurst {
+    sim::Time ready;
+    int src;
+    std::uint64_t seq;  ///< per-src monotone stage order
+    std::vector<Packet> packets;  ///< owned copy: caller spans die early
+  };
+  struct BarrierArrival {
+    sim::Time at;
+    int rank;
+  };
+
+  dvnet::BurstTiming transmit_now(int src, std::span<const Packet> packets,
+                                  sim::Time ready);
+  void resolve_window();
+  void resolve_barrier_arrivals();
+
   sim::Engine& engine_;
   DvFabricParams params_;
   dvnet::FabricModel model_;
@@ -130,6 +168,18 @@ class DvFabric : public check::InvariantAuditor {
   int barrier_arrived_ = 0;
   std::uint64_t barrier_phase_ = 0;
   sim::Time barrier_latest_ = 0;
+
+  // Windowed-partition state (empty/false outside partition mode).
+  bool windowed_ = false;
+  bool resolving_ = false;  ///< inside resolve_window (query replies re-enter)
+  std::vector<std::vector<StagedBurst>> staged_;          ///< per shard
+  std::vector<std::vector<BarrierArrival>> barrier_staged_;  ///< per shard
+  std::vector<std::uint64_t> stage_seq_;                  ///< per src rank
+  std::vector<StagedBurst> resolve_pending_;  ///< replies emitted mid-resolve
+  /// Per-rank barrier conditions: each is touched only by its own rank's
+  /// coroutine (in-window) and the resolution thread (at the barrier), so no
+  /// two shards ever mutate one concurrently.
+  std::vector<std::unique_ptr<sim::Condition>> barrier_conds_;
 };
 
 }  // namespace dvx::vic

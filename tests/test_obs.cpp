@@ -111,8 +111,9 @@ TEST(Collector, AbsorbTraceCopiesOnlyTheSuffix) {
   c.want_trace = true;
   const obs::ScopedCollector scope(c);
   // Records present before the capture window must not be absorbed.
+  const sim::TraceMark mark = src.mark();
   src.record_state(1, sim::NodeState::kWait, 0, sim::us(2));
-  obs::absorb_trace(src, 1, 1);
+  obs::absorb_trace(src, mark);
   ASSERT_EQ(c.trace.states().size(), 1u);
   EXPECT_EQ(c.trace.states()[0].node, 1);
   EXPECT_TRUE(c.trace.messages().empty());

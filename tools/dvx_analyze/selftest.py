@@ -276,6 +276,102 @@ def shard_safety_suppression_needs_justification():
 
 
 # --------------------------------------------------------------------------
+# shard-partitioned
+# --------------------------------------------------------------------------
+
+_PART_ANNOT = "// dvx-analyze: shard-partitioned\n"
+
+
+@case
+def shard_partitioned_unguarded_mutation_caught():
+    with tempfile.TemporaryDirectory() as d:
+        tmp = pathlib.Path(d)
+        ctx = _run_tree(tmp, {
+            "src/vic/box.hpp": _UNGUARDED_CLASS.replace(_ANNOT, _PART_ANNOT),
+        }, ["shard-partitioned"])
+        assert _rules_of(ctx) == ["shard-partitioned"], ctx.findings
+        f = ctx.findings[0]
+        assert "'Box::put'" in f.message and "shard-partitioned" in f.message, f
+
+
+@case
+def shard_partitioned_guarded_clean_and_group_selection():
+    guarded = _GUARDED_CLASS.replace(_ANNOT, _PART_ANNOT).replace(
+        'DVX_SHARD_GUARDED("x.Box", -1)', 'DVX_SHARD_GUARDED("x.Box", node)')
+    with tempfile.TemporaryDirectory() as d:
+        tmp = pathlib.Path(d)
+        ctx = _run_tree(tmp, {"src/vic/box.hpp": guarded},
+                        ["shard-partitioned"])
+        assert not ctx.findings, ctx.findings
+    # A partitioned class is NOT shard-safety's business: scanning with only
+    # the other group enabled must stay silent (and vice versa).
+    with tempfile.TemporaryDirectory() as d:
+        tmp = pathlib.Path(d)
+        ctx = _run_tree(tmp, {
+            "src/vic/box.hpp": _UNGUARDED_CLASS.replace(_ANNOT, _PART_ANNOT),
+        }, ["shard-safety"])
+        assert not ctx.findings, ctx.findings
+
+
+@case
+def shard_rules_coexist_with_distinct_rule_names():
+    shared = _UNGUARDED_CLASS
+    part = _UNGUARDED_CLASS.replace(_ANNOT, _PART_ANNOT).replace(
+        "class Box", "class Cell")
+    with tempfile.TemporaryDirectory() as d:
+        tmp = pathlib.Path(d)
+        ctx = _run_tree(tmp, {
+            "src/vic/box.hpp": shared,
+            "src/vic/cell.hpp": part,
+        }, ["shard-safety", "shard-partitioned"])
+        got = sorted(_rules_of(ctx))
+        assert got == ["shard-partitioned", "shard-safety"], ctx.findings
+        by_rule = {f.rule: f for f in ctx.findings}
+        assert "'Cell::put'" in by_rule["shard-partitioned"].message
+        assert "'Box::put'" in by_rule["shard-safety"].message
+
+
+@case
+def shard_partitioned_out_of_line_definition_caught():
+    with tempfile.TemporaryDirectory() as d:
+        tmp = pathlib.Path(d)
+        ctx = _run_tree(tmp, {
+            "src/vic/box.hpp": _PART_ANNOT + (
+                "class Box {\n"
+                " public:\n"
+                "  void put(int v);\n"
+                " private:\n"
+                "  int n_ = 0;\n"
+                "};\n"),
+            "src/vic/box.cpp":
+                '#include "vic/box.hpp"\n'
+                "void Box::put(int v) { n_ = v; }\n",
+        }, ["shard-partitioned"])
+        assert _rules_of(ctx) == ["shard-partitioned"], ctx.findings
+        assert ctx.findings[0].path == "src/vic/box.cpp"
+
+
+@case
+def tokenizer_records_annotation_kind():
+    stripped, comments = tokenizer.strip_lines([
+        "// dvx-analyze: shard-partitioned",
+        "class Cell { public: void go() {} };",
+        "// dvx-analyze: shared-across-shards",
+        "class Box { public: void go() {} };",
+        "",
+        "class Plain {};",
+    ])
+    classes = tokenizer._collect_classes(stripped, comments, [
+        "dvx-analyze: shared-across-shards", "dvx-analyze: shard-partitioned"])
+    kinds = {c.name: c.annotation for c in classes}
+    assert kinds == {
+        "Cell": "dvx-analyze: shard-partitioned",
+        "Box": "dvx-analyze: shared-across-shards",
+        "Plain": None,
+    }, kinds
+
+
+# --------------------------------------------------------------------------
 # determinism (folded det-lint) + report-determinism
 # --------------------------------------------------------------------------
 

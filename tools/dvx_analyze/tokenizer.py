@@ -40,6 +40,7 @@ class ClassInfo:
     line: int  # 1-based line of the class head
     annotated: bool
     methods: list[Method]
+    annotation: str | None = None  # which annotation string bound, if any
 
     def public_methods(self) -> set[str]:
         return {m.name for m in self.methods if m.access == "public"}
@@ -211,8 +212,11 @@ def _find_paren_close(text: str, open_idx: int) -> int:
 
 
 def _collect_classes(
-    stripped: list[str], comments: dict[int, str], annotation: str,
+    stripped: list[str], comments: dict[int, str],
+    annotations: str | list[str],
 ) -> list[ClassInfo]:
+    if isinstance(annotations, str):
+        annotations = [annotations]
     text = "\n".join(stripped)
 
     # Precompute line starts for offset -> line translation.
@@ -230,14 +234,24 @@ def _collect_classes(
                 hi = mid
         return lo + 1, offset - line_starts[lo] + 1
 
-    annotated_lines = {ln for ln, c in comments.items() if annotation in c}
+    # Longest annotation string wins per line, so "shard-partitioned" is not
+    # shadowed by a shorter annotation that happens to be its substring.
+    annotated_lines: dict[int, str] = {}
+    for ln, c in comments.items():
+        hits = [a for a in annotations if a in c]
+        if hits:
+            annotated_lines[ln] = max(hits, key=len)
 
     classes: list[ClassInfo] = []
     for m in _CLASS_RE.finditer(text):
         head_line, _ = line_of(m.start())
         # Annotation binds to the class whose head is within two lines below
         # it (allowing one doc-comment line in between).
-        annotated = any(head_line - 2 <= ln < head_line for ln in annotated_lines)
+        bound: str | None = None
+        for ln in range(head_line - 2, head_line):
+            if ln in annotated_lines:
+                bound = annotated_lines[ln]
+        annotated = bound is not None
         # Find the body opener; a `;` first means forward declaration.
         k = m.end()
         while k < len(text) and text[k] not in "{;":
@@ -251,7 +265,7 @@ def _collect_classes(
         default_access = "public" if kind.startswith("struct") else "private"
         methods: list[Method] = []
         _parse_class_body(text, k + 1, end - 1, default_access, line_of, methods)
-        classes.append(ClassInfo(m.group(1), head_line, annotated, methods))
+        classes.append(ClassInfo(m.group(1), head_line, annotated, methods, bound))
     return classes
 
 
@@ -287,7 +301,7 @@ def out_of_line_definitions(scan: FileScan) -> list[OutOfLineDef]:
     return out
 
 
-def scan_file(path: pathlib.Path, annotation: str) -> FileScan:
+def scan_file(path: pathlib.Path, annotations: str | list[str]) -> FileScan:
     raw = path.read_text(encoding="utf-8", errors="replace")
     raw_lines = raw.splitlines()
     stripped, comments = strip_lines(raw_lines)
@@ -296,5 +310,5 @@ def scan_file(path: pathlib.Path, annotation: str) -> FileScan:
         im = _INCLUDE_RE.match(line)
         if im is not None:
             includes.append(Include(lineno, im.start(1), im.group(1)))
-    classes = _collect_classes(stripped, comments, annotation)
+    classes = _collect_classes(stripped, comments, annotations)
     return FileScan(path, raw_lines, stripped, comments, includes, classes)
